@@ -1,0 +1,124 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* WITH-loop folding on/off — the paper's central optimisation: without it
+  the tiler stages stay separate (more WITH-loops, host fallbacks,
+  intermediate arrays) and the program slows down dramatically;
+* wrap-region splitting on/off — splitting trades kernel count (5+7 vs
+  3+4) for affine bulk kernels;
+* the coalescing model on/off — how much the stride-aware memory term
+  changes the simulated kernel times;
+* frame-size sweep — CIF vs HD: work scales with pixel count while the
+  program structure (kernel counts) is size-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.downscaler import CIF, HD, NONGENERIC, downscaler_program_source
+from repro.apps.downscaler.video import synthetic_frame
+from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.interp import Interpreter
+from repro.sac.opt import OptimisationFlags, count_withloops, optimize_program
+from repro.sac.parser import parse
+
+
+@pytest.fixture(scope="module")
+def nongeneric_source():
+    return downscaler_program_source(HD, NONGENERIC)
+
+
+def _run_us(program, frame) -> float:
+    ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    return ex.run(program, {"frame": frame}).total_us
+
+
+def test_ablation_wlf(nongeneric_source, benchmark):
+    """Without WLF the three tiler stages stay separate WITH-loops."""
+    prog = parse(nongeneric_source)
+    with_wlf = benchmark(
+        lambda: optimize_program(prog, entry="downscale")
+    )
+    without_wlf = optimize_program(
+        prog, entry="downscale", flags=OptimisationFlags.no_wlf()
+    )
+    n_with = count_withloops(with_wlf.function("downscale"))
+    n_without = count_withloops(without_wlf.function("downscale"))
+    print(f"\nWITH-loops: {n_with} (folded) vs {n_without} (unfolded)")
+    assert n_with == 2  # one fused loop per filter (paper Figure 8)
+    assert n_without > n_with
+
+    # both stay semantically identical (checked at CIF scale for speed)
+    small = parse(downscaler_program_source(CIF, NONGENERIC))
+    frame = synthetic_frame(CIF, 0)[..., 0]
+    a = Interpreter(optimize_program(small, entry="downscale")).call(
+        "downscale", [frame]
+    )
+    b = Interpreter(
+        optimize_program(small, entry="downscale", flags=OptimisationFlags.no_wlf())
+    ).call("downscale", [frame])
+    np.testing.assert_array_equal(a, b)
+
+
+def test_ablation_wrap_split(nongeneric_source, benchmark):
+    """Splitting trades kernels (12 vs 7) for affine bulk address streams."""
+    prog = parse(nongeneric_source)
+    split = benchmark.pedantic(
+        lambda: compile_function(prog, "downscale", CompileOptions(target="cuda")),
+        rounds=1, iterations=1,
+    )
+    merged = compile_function(
+        prog, "downscale", CompileOptions(target="cuda", wrap_split=False)
+    )
+    print(f"\nkernels: split={split.kernel_count} merged={merged.kernel_count}")
+    assert split.kernel_count == 12  # 5 horizontal + 7 vertical
+    assert merged.kernel_count == 7  # 3 + 4, modulo kept everywhere
+
+    frame = synthetic_frame(HD, 0)[..., 0]
+    t_split = _run_us(split.program, frame)
+    t_merged = _run_us(merged.program, frame)
+    print(f"simulated us/channel: split={t_split:.0f} merged={t_merged:.0f}")
+    # more kernels means more launch overhead: under the calibrated model
+    # the merged form is at least not slower per launch count
+    assert t_split > 0 and t_merged > 0
+    # functional equality
+    ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    out_a = ex.run(split.program, {"frame": frame}).outputs
+    out_b = ex.run(merged.program, {"frame": frame}).outputs
+    np.testing.assert_array_equal(
+        list(out_a.values())[0], list(out_b.values())[0]
+    )
+
+
+def test_ablation_coalescing_model(nongeneric_source):
+    """The stride-aware memory inflation is an ablation knob: switching it
+    on penalises the strided downscaler kernels."""
+    prog = parse(nongeneric_source)
+    cf = compile_function(prog, "downscale", CompileOptions(target="cuda"))
+    frame = synthetic_frame(HD, 0)[..., 0]
+
+    base = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    t_base = base.run(cf.program, {"frame": frame}).kernel_us
+    inflated = GPUExecutor(
+        CostModel(GTX480_CALIBRATED.with_overrides(model_coalescing=True))
+    )
+    t_inflated = inflated.run(cf.program, {"frame": frame}, functional=False).kernel_us
+    print(f"\nkernel us/channel: calibrated={t_base:.0f} with-inflation={t_inflated:.0f}")
+    assert t_inflated >= t_base
+
+
+@pytest.mark.parametrize("size", [CIF, HD], ids=["CIF", "HD"])
+def test_ablation_frame_size(size, benchmark):
+    """Structure is size-invariant; time scales with the pixel count."""
+    prog = parse(downscaler_program_source(size, NONGENERIC))
+    cf = benchmark.pedantic(
+        lambda: compile_function(prog, "downscale", CompileOptions(target="cuda")),
+        rounds=1, iterations=1,
+    )
+    assert cf.kernel_count == 12  # 5 + 7 at every size (same wrap pattern)
+    frame = synthetic_frame(size, 0)[..., 0]
+    us = _run_us(cf.program, frame)
+    pixels = size.rows * size.cols
+    print(f"\n{size.name}: {us:.0f} us/channel for {pixels} pixels")
+    if size is HD:
+        assert us > 1000  # several ms at HD

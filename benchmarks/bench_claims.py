@@ -1,0 +1,41 @@
+"""The paper's headline claims (Sections VIII-IX).
+
+* "performance benefits of both approaches are comparable, varying within
+  85% of the best runtimes";
+* "as much as 11x speedups on GPUs compared to sequential counterparts";
+* "more than half of the time is dedicated to data transfers" (Gaspard2) /
+  "data transfers represent approximately 50% of the total execution time"
+  (SaC);
+* the non-generic filters execute several times faster than the generic
+  ones on the GPU (4.5x horizontal / 3x vertical).
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_headline_claims(lab, benchmark):
+    claims = run_once(benchmark, lab.headline_claims)
+    print()
+    for k, v in claims.items():
+        print(f"  {k:36s} {v:8.2f}")
+
+    # routes comparable: total runtimes within 85% of the best
+    ratio = claims["gaspard_over_sac_total"]
+    best_share = min(ratio, 1.0 / ratio)
+    assert best_share >= 0.75  # paper: 2.86/3.43 = 0.83
+
+    # GPU speedups significant, in the paper's "as much as 11x" regime
+    assert claims["speedup_gpu_vs_seq_h"] >= 5.0
+    assert claims["speedup_gpu_vs_seq_h"] <= 16.0
+    assert claims["speedup_gpu_vs_seq_v"] >= 4.0
+
+    # transfers eat about half the GPU time on both routes
+    assert 0.40 <= claims["transfer_share_gaspard"] <= 0.65
+    assert 0.35 <= claims["transfer_share_sac"] <= 0.60
+
+    # generic GPU variants are several times slower
+    assert 3.0 <= claims["generic_over_nongeneric_h"] <= 7.0
+    assert 2.0 <= claims["generic_over_nongeneric_v"] <= 5.0
+
+    # sequential variants stay close
+    assert 0.8 <= claims["seq_generic_over_nongeneric_h"] <= 1.4

@@ -1,0 +1,44 @@
+"""Figure 12 — per-operation comparison of the SaC and Gaspard2 routes.
+
+Regenerates the four bar groups (horizontal filter, vertical filter,
+Host2Device, Device2Host) and checks the paper's reading: both filters run
+slightly faster under Gaspard2, transfers are essentially identical (both
+routes move the same frames), and Host2Device towers over everything.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.report import render_figure12
+
+
+def test_figure12_regeneration(lab, benchmark):
+    series = run_once(benchmark, lab.figure12)
+    print()
+    print(render_figure12(series))
+
+    ops = dict(zip(series.operations, zip(series.sac_s, series.gaspard_s)))
+    assert set(ops) == {
+        "Horizontal Filter",
+        "Vertical Filter",
+        "Host2Device",
+        "Device2Host",
+    }
+
+    # Gaspard2's fused per-task kernels beat the fragmented SaC kernels
+    for op in ("Horizontal Filter", "Vertical Filter"):
+        sac, gaspard = ops[op]
+        assert gaspard < sac, op
+
+    # both routes transfer the same frame data
+    sac_h2d, gas_h2d = ops["Host2Device"]
+    assert sac_h2d == pytest.approx(gas_h2d, rel=0.1)
+    sac_d2h, gas_d2h = ops["Device2Host"]
+    assert sac_d2h == pytest.approx(gas_d2h, rel=0.1)
+
+    # Host2Device is the tallest bar of the chart (paper Figure 12)
+    assert gas_h2d == max(max(series.sac_s), max(series.gaspard_s))
+
+    # rough magnitudes from the chart (seconds over 300 frames)
+    assert sac_h2d == pytest.approx(1.45, rel=0.25)
+    assert ops["Horizontal Filter"][0] == pytest.approx(1.0, rel=0.35)

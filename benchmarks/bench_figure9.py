@@ -1,0 +1,63 @@
+"""Figure 9 — execution times of the four SaC downscaler configurations.
+
+Regenerates the bar chart series and checks the orderings and ratios the
+paper reports: CUDA beats sequential everywhere; the *generic* CUDA variant
+is several times slower than the non-generic one (4.5x horizontal, 3x
+vertical in the paper) because its output tiler runs on the host behind a
+device-to-host transfer; sequential times barely differ between variants.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.report import render_figure9
+
+
+def _by_config(rows):
+    return {r.configuration: r for r in rows}
+
+
+def test_figure9_regeneration(lab, benchmark):
+    rows = run_once(benchmark, lab.figure9)
+    print()
+    print(render_figure9(rows))
+
+    cfg = _by_config(rows)
+    assert set(cfg) == {
+        "SAC-Seq Generic",
+        "SAC-CUDA Generic",
+        "SAC-Seq Non-Generic",
+        "SAC-CUDA Non-Generic",
+    }
+
+    # CUDA faster than sequential in every configuration and filter
+    for variant in ("Generic", "Non-Generic"):
+        seq = cfg[f"SAC-Seq {variant}"]
+        cuda = cfg[f"SAC-CUDA {variant}"]
+        assert cuda.hfilter_s < seq.hfilter_s
+        assert cuda.vfilter_s < seq.vfilter_s
+
+    # the headline ratios: non-generic CUDA beats generic CUDA by ~4.5x (H)
+    # and ~3x (V); we accept a generous band around the published factors
+    h_ratio = cfg["SAC-CUDA Generic"].hfilter_s / cfg["SAC-CUDA Non-Generic"].hfilter_s
+    v_ratio = cfg["SAC-CUDA Generic"].vfilter_s / cfg["SAC-CUDA Non-Generic"].vfilter_s
+    assert h_ratio == pytest.approx(4.5, rel=0.5)
+    assert v_ratio == pytest.approx(3.0, rel=0.5)
+    assert h_ratio > v_ratio  # the horizontal filter suffers more
+
+    # sequential runtimes "do not vary significantly" between variants
+    seq_ratio = cfg["SAC-Seq Generic"].hfilter_s / cfg["SAC-Seq Non-Generic"].hfilter_s
+    assert seq_ratio == pytest.approx(1.0, abs=0.35)
+
+    # the horizontal filter always costs more than the vertical one
+    for row in rows:
+        assert row.hfilter_s > row.vfilter_s
+
+
+def test_figure9_magnitudes(lab):
+    """The bars live in the paper's range: seconds, with the sequential
+    horizontal filter the tallest at roughly 4-5 s for 300 iterations."""
+    cfg = _by_config(lab.figure9())
+    tallest = cfg["SAC-Seq Generic"].hfilter_s
+    assert 2.5 <= tallest <= 7.5
+    assert cfg["SAC-CUDA Non-Generic"].hfilter_s <= 1.0

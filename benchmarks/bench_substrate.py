@@ -1,0 +1,116 @@
+"""Wall-clock microbenchmarks of the library's own machinery.
+
+These measure the *simulator and compiler*, not the simulated device:
+tiler gather/scatter throughput, vectorised kernel evaluation, frontend
+parsing, the optimisation pipeline, and timing-only program replay — the
+operations every experiment above is built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.downscaler import HD, NONGENERIC, downscaler_program_source
+from repro.apps.downscaler.config import horizontal_filter
+from repro.apps.downscaler.video import synthetic_frame
+from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED
+from repro.ir import (
+    ArrayParam,
+    BinOp,
+    Const,
+    IndexSpace,
+    Kernel,
+    Read,
+    Store,
+    ThreadIdx,
+    evaluate_kernel,
+)
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.opt import optimize_program
+from repro.sac.parser import parse
+from repro.tilers import gather, scatter_into_zeros
+
+
+@pytest.fixture(scope="module")
+def hd_frame():
+    return synthetic_frame(HD, 0)[..., 0]
+
+
+def test_bench_tiler_gather(benchmark, hd_frame):
+    tiler = horizontal_filter(HD).input_tiler
+    tiles = benchmark(gather, tiler, hd_frame)
+    assert tiles.shape == tiler.repetition_shape + tiler.pattern_shape
+
+
+def test_bench_tiler_scatter(benchmark):
+    config = horizontal_filter(HD)
+    tiler = config.output_tiler
+    values = np.ones(tiler.repetition_shape + tiler.pattern_shape, dtype=np.int32)
+    out = benchmark(scatter_into_zeros, tiler, values)
+    assert out.shape == config.out_shape
+
+
+def test_bench_kernel_evaluation(benchmark, hd_frame):
+    """Vectorised evaluation of an elementwise kernel over an HD frame."""
+    shape = hd_frame.shape
+    kernel = Kernel(
+        name="scale",
+        space=IndexSpace((0, 0), shape),
+        arrays=(
+            ArrayParam("src", shape, intent="in"),
+            ArrayParam("dst", shape, intent="out"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                BinOp("/", BinOp("*", Read("src", (ThreadIdx(0), ThreadIdx(1))), Const(3)), Const(2)),
+            ),
+        ),
+    )
+    dst = np.zeros(shape, dtype=np.int32)
+
+    def run():
+        evaluate_kernel(kernel, {"src": hd_frame, "dst": dst})
+        return dst
+
+    out = benchmark(run)
+    assert out[0, 0] == hd_frame[0, 0] * 3 // 2
+
+
+@pytest.fixture(scope="module")
+def source():
+    return downscaler_program_source(HD, NONGENERIC)
+
+
+def test_bench_parse(benchmark, source):
+    program = benchmark(parse, source)
+    assert program.function("downscale") is not None
+
+
+def test_bench_optimise(benchmark, source):
+    program = parse(source)
+    optimized = benchmark.pedantic(
+        lambda: optimize_program(program, entry="downscale"),
+        rounds=3, iterations=1,
+    )
+    assert optimized.function("downscale") is not None
+
+
+def test_bench_compile(benchmark, source):
+    program = parse(source)
+    cf = benchmark.pedantic(
+        lambda: compile_function(program, "downscale", CompileOptions(target="cuda")),
+        rounds=3, iterations=1,
+    )
+    assert cf.kernel_count == 12
+
+
+def test_bench_replay(benchmark, source, hd_frame):
+    """Timing-only replay rate — what the 300-frame experiments multiply."""
+    program = parse(source)
+    cf = compile_function(program, "downscale", CompileOptions(target="cuda"))
+    ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    ex.run(cf.program, {"frame": hd_frame})  # warm: probe + unique bytes
+
+    result = benchmark(lambda: ex.run(cf.program, functional=False))
+    assert result.total_us > 0

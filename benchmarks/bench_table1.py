@@ -1,0 +1,51 @@
+"""Table I — Gaspard2/OpenCL kernel execution and data transfer times.
+
+Regenerates the table at the paper's scale (300 HD frames, 3 channels) and
+checks its structure against the published rows: 3 kernels per filter, 900
+transfer calls, the per-operation ordering and the percentage breakdown.
+"""
+
+import pytest
+
+from benchmarks.conftest import FRAMES, run_once
+from repro.report import PAPER_TABLE1, compare_to_paper, render_operation_table
+
+#: simulated times must stay within this relative band of the paper's rows
+ROW_TOLERANCE = 0.25
+
+
+def test_table1_regeneration(lab, benchmark):
+    table = run_once(benchmark, lab.table1)
+    print()
+    print(render_operation_table(table))
+
+    # structure: the paper's four rows in the paper's order
+    labels = [r.operation for r in table.rows]
+    assert labels == [
+        "H. Filter (3 kernels)",
+        "V. Filter (3 kernels)",
+        "memcpyHtoDasync",
+        "memcpyDtoHasync",
+    ]
+
+    # call counts: 300 frames, 900 channel transfers each way
+    assert table.row("H. Filter").calls == FRAMES
+    assert table.row("memcpyHtoD").calls == 3 * FRAMES
+    assert table.row("memcpyDtoH").calls == 3 * FRAMES
+
+    # every row lands near the published value
+    for cmp in compare_to_paper(table, PAPER_TABLE1, frames=FRAMES):
+        assert abs(cmp.delta_pct) <= 100 * ROW_TOLERANCE, cmp
+
+    # the paper's qualitative facts: transfers dominate (~half the time),
+    # H2D is the single largest operation
+    pct = {r.operation: r.gpu_time_pct for r in table.rows}
+    assert pct["memcpyHtoDasync"] == pytest.approx(48.74, abs=5.0)
+    assert pct["memcpyHtoDasync"] == max(pct.values())
+    transfer_share = pct["memcpyHtoDasync"] + pct["memcpyDtoHasync"]
+    assert 0.45 <= transfer_share / 100.0 <= 0.65
+
+
+def test_table1_total_close_to_paper(lab):
+    table = lab.table1()
+    assert table.total_us / 1e6 == pytest.approx(2.86, rel=ROW_TOLERANCE)

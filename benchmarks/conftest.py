@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+The experiment benches regenerate the paper's artefacts at full scale
+(300 frames, HD) — simulated time is deterministic, so each regeneration
+runs once (``benchmark.pedantic`` with a single round); the wall time
+measured is the harness/simulator itself.  A session-scoped lab amortises
+compilation and per-kernel probing across benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.downscaler import HD, DownscalerLab
+
+#: the paper processes 300 frames (Section VIII)
+FRAMES = 300
+
+
+@pytest.fixture(scope="session")
+def lab() -> DownscalerLab:
+    return DownscalerLab(size=HD, frames=FRAMES)
+
+
+@pytest.fixture(scope="session")
+def quick_lab() -> DownscalerLab:
+    """A 30-frame lab for benches that only need ratios/percentages."""
+    return DownscalerLab(size=HD, frames=30)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic regeneration with a single round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

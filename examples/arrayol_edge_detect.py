@@ -1,0 +1,120 @@
+"""Building a custom ArrayOL application: tiled edge detection.
+
+Shows the metamodel API beyond the downscaler: a one-stage application
+whose repetitive task slides a 3-element horizontal window over an image
+(via an overlapping input tiler) and emits the absolute central difference
+— a 1-D edge detector.  The model goes through the same Gaspard2 chain as
+the paper's downscaler: validation, scheduling, buffer binding, kernel
+generation, OpenCL emission, simulated execution.
+
+Run:  python examples/arrayol_edge_detect.py
+"""
+
+import numpy as np
+
+from repro.arrayol import (
+    Allocation,
+    ApplicationModel,
+    CompoundTask,
+    ElementaryTask,
+    GPU_CPU_PLATFORM,
+    Link,
+    PatternExpr,
+    Port,
+    RepetitiveTask,
+    TaskInstance,
+    TilerConnector,
+)
+from repro.arrayol.transform import GaspardContext, standard_chain
+from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED
+from repro.ir import expr as ir
+from repro.tilers import Tiler
+
+ROWS, COLS = 64, 96
+
+
+def edge_model() -> ApplicationModel:
+    # elementary task: |pin[2] - pin[0]| for the window's centre
+    pin = Port("pin", (3,), "in")
+    pout = Port("pout", (1,), "out")
+    diff = ir.UnOp(
+        "abs",
+        ir.BinOp("-", ir.Read("pin", (ir.Const(2),)), ir.Read("pin", (ir.Const(0),))),
+    )
+    elem = ElementaryTask(
+        name="centraldiff",
+        inputs=(pin,),
+        outputs=(pout,),
+        body=(PatternExpr(port="pout", index=0, expr=diff),),
+    )
+
+    # overlapping gather: every pixel gets the window centred on it
+    # (toroidal at the edges, thanks to the tiler's modular addressing)
+    in_tiler = Tiler(
+        origin=(0, -1),
+        fitting=((0,), (1,)),
+        paving=((1, 0), (0, 1)),
+        array_shape=(ROWS, COLS),
+        pattern_shape=(3,),
+        repetition_shape=(ROWS, COLS),
+        name="window3",
+    )
+    out_tiler = Tiler(
+        origin=(0, 0),
+        fitting=((0,), (1,)),
+        paving=((1, 0), (0, 1)),
+        array_shape=(ROWS, COLS),
+        pattern_shape=(1,),
+        repetition_shape=(ROWS, COLS),
+        name="pixel",
+    )
+    rep = RepetitiveTask(
+        name="edges",
+        inputs=(Port("img", (ROWS, COLS), "in"),),
+        outputs=(Port("edge", (ROWS, COLS), "out"),),
+        repetition=(ROWS, COLS),
+        inner=elem,
+        input_tilers=(TilerConnector("img", "pin", in_tiler),),
+        output_tilers=(TilerConnector("edge", "pout", out_tiler),),
+    )
+    top = CompoundTask(
+        name="EdgeDetect",
+        inputs=(Port("image", (ROWS, COLS), "in"),),
+        outputs=(Port("edges_out", (ROWS, COLS), "out"),),
+        instances=(TaskInstance("detect", rep),),
+        links=(
+            Link(src=("", "image"), dst=("detect", "img")),
+            Link(src=("detect", "edge"), dst=("", "edges_out")),
+        ),
+    )
+    return ApplicationModel(name="EdgeDetect", top=top)
+
+
+def main() -> None:
+    model = edge_model()
+    allocation = Allocation(
+        platform=GPU_CPU_PLATFORM, mapping=(("detect", "gpu"),)
+    )
+    chain = standard_chain()
+    ctx = chain.run(GaspardContext(model=model, allocation=allocation))
+
+    rng = np.random.default_rng(11)
+    image = rng.integers(0, 256, size=(ROWS, COLS)).astype(np.int32)
+    executor = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    result = executor.run(ctx.program, {"image": image})
+    edges = result.outputs["edges_out"]
+
+    expected = np.abs(
+        np.roll(image, -1, axis=1).astype(np.int64) - np.roll(image, 1, axis=1)
+    ).astype(np.int32)
+    assert np.array_equal(edges, expected), "edge output mismatch"
+    print("edge detection matches the NumPy reference")
+    print(f"simulated time: {result.total_us:.1f} us "
+          f"(kernel {result.kernel_us:.1f}, transfers "
+          f"{result.h2d_us + result.d2h_us:.1f})")
+    print("\n--- generated OpenCL ---")
+    print(ctx.program.source("kernels.cl"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""The paper's comparative study, end to end.
+
+Reproduces the evaluation of Section VIII on the H.263 downscaler:
+
+* Table I  — Gaspard2/OpenCL kernel and transfer breakdown,
+* Table II — SaC/CUDA (non-generic) breakdown,
+* Figure 9 — the four SaC configurations per filter,
+* Figure 12 — per-operation route comparison,
+* the headline claims (generic 4.5x/3x slowdown, up to ~11x GPU speedup,
+  ~50% transfer share, routes within 85%).
+
+Run:  python examples/downscaler_study.py [frames]
+(the default 300 frames takes a minute or two; use e.g. 30 for a quick look)
+"""
+
+import sys
+
+from repro.apps.downscaler import HD, DownscalerLab
+from repro.report import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    render_comparison,
+    render_figure9,
+    render_figure12,
+    render_operation_table,
+)
+
+
+def main(frames: int = 300) -> None:
+    lab = DownscalerLab(size=HD, frames=frames)
+
+    print(f"== Table I (Gaspard2 / OpenCL route, {frames} frames) ==")
+    t1 = lab.table1()
+    print(render_operation_table(t1))
+    print()
+    print(render_comparison(t1, PAPER_TABLE1, frames=frames))
+    print()
+
+    print(f"== Table II (SaC / CUDA route, non-generic, {frames} frames) ==")
+    t2 = lab.table2()
+    print(render_operation_table(t2))
+    print()
+    print(render_comparison(t2, PAPER_TABLE2, frames=frames))
+    print()
+
+    print("== Figure 9 ==")
+    print(render_figure9(lab.figure9()))
+
+    print("== Figure 12 ==")
+    print(render_figure12(lab.figure12()))
+
+    print("== headline claims ==")
+    claims = lab.headline_claims()
+    paper = {
+        "generic_over_nongeneric_h": "4.5x (paper)",
+        "generic_over_nongeneric_v": "3x (paper)",
+        "speedup_gpu_vs_seq_h": "up to ~11x (paper)",
+        "transfer_share_gaspard": "0.556 (paper)",
+        "transfer_share_sac": "0.482 (paper)",
+        "gaspard_over_sac_total": "0.83 (paper)",
+    }
+    for key, value in claims.items():
+        note = paper.get(key, "")
+        print(f"  {key:34s} {value:8.2f}   {note}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300)

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(no `wheel` package available, so PEP 660 editable wheels cannot be built).
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

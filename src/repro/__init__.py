@@ -1,0 +1,19 @@
+"""repro — reproduction of "Harnessing the Power of GPUs without Losing
+Abstractions in SaC and ArrayOL: A Comparative Study" (HIPS 2011).
+
+Two source-to-GPU compilation routes over a calibrated GPU simulator:
+
+* :mod:`repro.sac` — a Single Assignment C subset: frontend, WITH-loop
+  folding optimiser and CUDA backend;
+* :mod:`repro.arrayol` — the ArrayOL metamodel with a Gaspard2-style
+  transformation chain and OpenCL backend;
+* :mod:`repro.tilers` — the shared tiler algebra;
+* :mod:`repro.ir` / :mod:`repro.gpu` / :mod:`repro.cpu` — the kernel IR and
+  the simulated GTX480 / i7 execution substrate;
+* :mod:`repro.apps.downscaler` — the paper's H.263 downscaler case study
+  and the experiment runner regenerating its tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,7 @@
+"""Case-study applications built on the library.
+
+* :mod:`repro.apps.downscaler` — the paper's H.263 downscaler (both
+  compilation routes, all variants, the experiment runner);
+* :mod:`repro.apps.convolution` — a separable circular convolution
+  demonstrating the fusion trade-off in the opposite direction.
+"""

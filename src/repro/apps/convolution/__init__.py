@@ -1,0 +1,13 @@
+"""Separable circular convolution — the second dual-route application."""
+
+from repro.apps.convolution.arrayol_model import convolution_allocation, convolution_model
+from repro.apps.convolution.config import ConvolutionConfig, gaussian3, gaussian5
+from repro.apps.convolution.reference import convolve, convolve_axis
+from repro.apps.convolution.sac_source import convolution_program_source
+
+__all__ = [
+    "ConvolutionConfig", "gaussian3", "gaussian5",
+    "convolve", "convolve_axis",
+    "convolution_program_source",
+    "convolution_model", "convolution_allocation",
+]

@@ -1,0 +1,78 @@
+"""ArrayOL model for the separable convolution (the Gaspard2 route)."""
+
+from __future__ import annotations
+
+from repro.apps.convolution.config import ConvolutionConfig
+from repro.arrayol import (
+    Allocation,
+    ApplicationModel,
+    CompoundTask,
+    ElementaryTask,
+    GPU_CPU_PLATFORM,
+    Link,
+    PatternExpr,
+    Port,
+    RepetitiveTask,
+    TaskInstance,
+    TilerConnector,
+)
+from repro.ir import expr as ir
+
+__all__ = ["convolution_model", "convolution_allocation"]
+
+
+def _weighted_sum_task(config: ConvolutionConfig, name: str) -> ElementaryTask:
+    k = len(config.taps)
+    pin = Port("pin", (k,), "in", dtype="float64")
+    pout = Port("pout", (1,), "out", dtype="float64")
+    acc: ir.Expr | None = None
+    for t, c in enumerate(config.taps):
+        term = ir.BinOp("*", ir.Const(float(c)), ir.Read("pin", (ir.Const(t),)))
+        acc = term if acc is None else ir.BinOp("+", acc, term)
+    assert acc is not None
+    return ElementaryTask(
+        name=name,
+        inputs=(pin,),
+        outputs=(pout,),
+        body=(PatternExpr(port="pout", index=0, expr=acc),),
+    )
+
+
+def _pass_task(config: ConvolutionConfig, axis: int, name: str) -> RepetitiveTask:
+    fin = Port("fin", config.shape, "in", dtype="float64")
+    fout = Port("fout", config.shape, "out", dtype="float64")
+    return RepetitiveTask(
+        name=name,
+        inputs=(fin,),
+        outputs=(fout,),
+        repetition=config.shape,
+        inner=_weighted_sum_task(config, f"{name}_sum"),
+        input_tilers=(
+            TilerConnector("fin", "pin", config.input_tiler(axis)),
+        ),
+        output_tilers=(TilerConnector("fout", "pout", config.output_tiler()),),
+    )
+
+
+def convolution_model(config: ConvolutionConfig) -> ApplicationModel:
+    hp = _pass_task(config, 1, "hpass")
+    vp = _pass_task(config, 0, "vpass")
+    top = CompoundTask(
+        name="Convolution",
+        inputs=(Port("image", config.shape, "in", dtype="float64"),),
+        outputs=(Port("blurred", config.shape, "out", dtype="float64"),),
+        instances=(TaskInstance("hp", hp), TaskInstance("vp", vp)),
+        links=(
+            Link(src=("", "image"), dst=("hp", "fin")),
+            Link(src=("hp", "fout"), dst=("vp", "fin")),
+            Link(src=("vp", "fout"), dst=("", "blurred")),
+        ),
+    )
+    return ApplicationModel(name="Convolution", top=top)
+
+
+def convolution_allocation() -> Allocation:
+    return Allocation(
+        platform=GPU_CPU_PLATFORM,
+        mapping=(("hp", "gpu"), ("vp", "gpu")),
+    )

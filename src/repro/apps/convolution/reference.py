@@ -1,0 +1,23 @@
+"""NumPy golden reference for the separable circular convolution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.convolution.config import ConvolutionConfig
+
+__all__ = ["convolve_axis", "convolve"]
+
+
+def convolve_axis(frame: np.ndarray, config: ConvolutionConfig, axis: int) -> np.ndarray:
+    """One 1-D pass with toroidal boundaries."""
+    frame = np.asarray(frame, dtype=np.float64)
+    out = np.zeros_like(frame)
+    for t, c in enumerate(config.taps):
+        out += c * np.roll(frame, config.center - t, axis=axis)
+    return out
+
+
+def convolve(frame: np.ndarray, config: ConvolutionConfig) -> np.ndarray:
+    """Horizontal then vertical pass (separable application)."""
+    return convolve_axis(convolve_axis(frame, config, axis=1), config, axis=0)

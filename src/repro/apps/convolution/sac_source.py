@@ -1,0 +1,55 @@
+"""SaC source generation for the separable convolution."""
+
+from __future__ import annotations
+
+from repro.apps.convolution.config import ConvolutionConfig
+
+__all__ = ["convolution_program_source"]
+
+
+def _pass_source(config: ConvolutionConfig, axis: int, name: str) -> str:
+    rows, cols = config.shape
+    extent = rows if axis == 0 else cols
+    terms = []
+    for t, c in enumerate(config.taps):
+        off = t - config.center
+        if axis == 0:
+            idx = f"[(i + {extent + off}) % {extent}, j]"
+        else:
+            idx = f"[i, (j + {extent + off}) % {extent}]"
+        terms.append(f"{c!r} * img[{idx}]")
+    body = "\n        + ".join(terms)
+    return "\n".join(
+        [
+            f"double[{rows},{cols}] {name}(double[{rows},{cols}] img)",
+            "{",
+            "  out = with {",
+            "    (. <= [i,j] <= .) {",
+            f"      acc = {body};",
+            "    } : acc;",
+            f"  }} : genarray([{rows},{cols}]);",
+            "  return( out);",
+            "}",
+        ]
+    )
+
+
+def convolution_program_source(config: ConvolutionConfig) -> str:
+    """The two-pass program: ``blur`` = vertical(horizontal(img))."""
+    rows, cols = config.shape
+    return "\n\n".join(
+        [
+            _pass_source(config, 1, "hpass"),
+            _pass_source(config, 0, "vpass"),
+            "\n".join(
+                [
+                    f"double[{rows},{cols}] blur(double[{rows},{cols}] img)",
+                    "{",
+                    "  h = hpass(img);",
+                    "  v = vpass(h);",
+                    "  return( v);",
+                    "}",
+                ]
+            ),
+        ]
+    )

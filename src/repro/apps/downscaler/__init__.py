@@ -1,0 +1,27 @@
+"""The paper's case study: the H.263 downscaler in every configuration."""
+
+from repro.apps.downscaler.config import (
+    CIF,
+    HD,
+    FilterConfig,
+    FrameSize,
+    horizontal_filter,
+    vertical_filter,
+)
+from repro.apps.downscaler.reference import apply_filter, downscale_frame, downscale_video
+from repro.apps.downscaler.runner import DownscalerLab, Figure9Row, Figure12Series, OperationTable
+from repro.apps.downscaler.sac_sources import (
+    GENERIC,
+    NONGENERIC,
+    downscaler_program_source,
+)
+from repro.apps.downscaler.video import channels_of, synthetic_frame, video_frames
+
+__all__ = [
+    "FrameSize", "FilterConfig", "HD", "CIF",
+    "horizontal_filter", "vertical_filter",
+    "apply_filter", "downscale_frame", "downscale_video",
+    "GENERIC", "NONGENERIC", "downscaler_program_source",
+    "synthetic_frame", "video_frames", "channels_of",
+    "DownscalerLab", "OperationTable", "Figure9Row", "Figure12Series",
+]

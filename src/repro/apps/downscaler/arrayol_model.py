@@ -1,0 +1,192 @@
+"""The downscaler as an ArrayOL/Gaspard2 application model.
+
+Reproduces the paper's Section VIII-B setup (Figures 3 and 10): four macro
+tasks — FrameGenerator (IP), HorizontalFilter and VerticalFilter (each a
+compound of three repetitive tasks, one per RGB channel), FrameConstructor
+(IP) — with the tiler specifications of Figure 10 parameterised by frame
+size.  The IPs stand in for the paper's OpenCV video input/output (see
+DESIGN.md §2); the filters carry the Figure 5 interpolation as their
+elementary tasks.
+"""
+
+from __future__ import annotations
+
+from repro.apps.downscaler.config import (
+    WINDOW_TAPS,
+    FilterConfig,
+    FrameSize,
+    horizontal_filter,
+    vertical_filter,
+)
+from repro.arrayol import (
+    Allocation,
+    ApplicationModel,
+    CompoundTask,
+    ElementaryTask,
+    GPU_CPU_PLATFORM,
+    IOTask,
+    Link,
+    PatternExpr,
+    Port,
+    RepetitiveTask,
+    TaskInstance,
+    TilerConnector,
+)
+from repro.ir import expr as ir
+
+__all__ = [
+    "CHANNELS",
+    "interpolation_elementary_task",
+    "filter_repetitive_task",
+    "filter_compound",
+    "downscaler_model",
+    "downscaler_allocation",
+]
+
+CHANNELS = ("r", "g", "b")
+
+
+def interpolation_elementary_task(config: FilterConfig, name: str) -> ElementaryTask:
+    """The Figure 5 task: 6-tap windows, ``out = tmp/6 - tmp%6``."""
+    pin = Port("pin", (config.pattern,), "in")
+    pout = Port("pout", (config.out_pattern,), "out")
+    locals_: list[tuple[str, ir.Expr]] = []
+    body: list[PatternExpr] = []
+    for k, off in enumerate(config.window_offsets):
+        acc: ir.Expr = ir.Read("pin", (ir.Const(off),))
+        for t in range(1, WINDOW_TAPS):
+            acc = ir.BinOp("+", acc, ir.Read("pin", (ir.Const(off + t),)))
+        tmp = f"tmp{k}"
+        locals_.append((tmp, acc))
+        value = ir.BinOp(
+            "-",
+            ir.BinOp("/", ir.LocalRef(tmp), ir.Const(6)),
+            ir.BinOp("%", ir.LocalRef(tmp), ir.Const(6)),
+        )
+        body.append(PatternExpr(port="pout", index=k, expr=value))
+    return ElementaryTask(
+        name=name,
+        inputs=(pin,),
+        outputs=(pout,),
+        body=tuple(body),
+        locals=tuple(locals_),
+    )
+
+
+def filter_repetitive_task(config: FilterConfig, name: str) -> RepetitiveTask:
+    """One channel's filter: repetition space + Figure 10 tilers."""
+    fin = Port("fin", config.frame_shape, "in")
+    fout = Port("fout", config.out_shape, "out")
+    inner = interpolation_elementary_task(config, f"{name}_interp")
+    return RepetitiveTask(
+        name=name,
+        inputs=(fin,),
+        outputs=(fout,),
+        repetition=config.repetition_shape,
+        inner=inner,
+        input_tilers=(
+            TilerConnector(outer_port="fin", inner_port="pin", tiler=config.input_tiler),
+        ),
+        output_tilers=(
+            TilerConnector(outer_port="fout", inner_port="pout", tiler=config.output_tiler),
+        ),
+    )
+
+
+def filter_compound(config: FilterConfig, name: str) -> CompoundTask:
+    """A filter for all three channels (Figure 10's rhf/ghf/bhf)."""
+    inputs = tuple(Port(f"in_{c}", config.frame_shape, "in") for c in CHANNELS)
+    outputs = tuple(Port(f"out_{c}", config.out_shape, "out") for c in CHANNELS)
+    instances = tuple(
+        TaskInstance(name=f"{c}{name[0]}f", task=filter_repetitive_task(config, f"{c}{name}"))
+        for c in CHANNELS
+    )
+    links = tuple(
+        Link(src=("", f"in_{c}"), dst=(inst.name, "fin"))
+        for c, inst in zip(CHANNELS, instances)
+    ) + tuple(
+        Link(src=(inst.name, "fout"), dst=("", f"out_{c}"))
+        for c, inst in zip(CHANNELS, instances)
+    )
+    return CompoundTask(
+        name=name, inputs=inputs, outputs=outputs, instances=instances, links=links
+    )
+
+
+def _copy_ip(env: dict, ins: dict[str, str], outs: dict[str, str]) -> None:
+    """The frame generator/constructor IP: moves frames between buffers
+    (standing in for OpenCV decode/display).
+
+    Ports are paired by channel suffix: input ``x_<c>`` feeds output
+    ``y_<c>``.
+    """
+
+    def suffix(port: str) -> str:
+        return port.rsplit("_", 1)[1]
+
+    in_by_channel = {suffix(p): buf for p, buf in ins.items()}
+    for port, buf in outs.items():
+        env[buf] = env[in_by_channel[suffix(port)]].copy()
+
+
+def downscaler_model(size: FrameSize = None) -> ApplicationModel:
+    """The full Figure 3 application."""
+    from repro.apps.downscaler.config import HD
+
+    size = size or HD
+    h = horizontal_filter(size)
+    v = vertical_filter(size)
+    pixels = size.rows * size.cols
+
+    fg = IOTask(
+        name="frameGen",
+        inputs=tuple(Port(f"cam_{c}", size.shape, "in") for c in CHANNELS),
+        outputs=tuple(Port(f"dec_{c}", size.shape, "out") for c in CHANNELS),
+        ip=_copy_ip,
+        work_ops=3 * pixels,
+    )
+    orow, ocol = v.out_shape
+    fc = IOTask(
+        name="frameCon",
+        inputs=tuple(Port(f"acc_{c}", (orow, ocol), "in") for c in CHANNELS),
+        outputs=tuple(Port(f"disp_{c}", (orow, ocol), "out") for c in CHANNELS),
+        ip=_copy_ip,
+        work_ops=3 * orow * ocol,
+    )
+    hf = filter_compound(h, "hfilter")
+    vf = filter_compound(v, "vfilter")
+
+    instances = (
+        TaskInstance("fg", fg),
+        TaskInstance("hf", hf),
+        TaskInstance("vf", vf),
+        TaskInstance("fc", fc),
+    )
+    links = []
+    for c in CHANNELS:
+        links.append(Link(src=("", f"in_{c}"), dst=("fg", f"cam_{c}")))
+        links.append(Link(src=("fg", f"dec_{c}"), dst=("hf", f"in_{c}")))
+        links.append(Link(src=("hf", f"out_{c}"), dst=("vf", f"in_{c}")))
+        links.append(Link(src=("vf", f"out_{c}"), dst=("fc", f"acc_{c}")))
+        links.append(Link(src=("fc", f"disp_{c}"), dst=("", f"out_{c}")))
+
+    top = CompoundTask(
+        name="Downscaler",
+        inputs=tuple(Port(f"in_{c}", size.shape, "in") for c in CHANNELS),
+        outputs=tuple(Port(f"out_{c}", (orow, ocol), "out") for c in CHANNELS),
+        instances=instances,
+        links=tuple(links),
+    )
+    return ApplicationModel(name="Downscaler", top=top)
+
+
+def downscaler_allocation() -> Allocation:
+    """MARTE allocation: IPs on the host, filters on the compute device.
+
+    Uses the *flattened* instance names the transformation chain produces.
+    """
+    mapping = [("fg", "host"), ("fc", "host")]
+    for c in CHANNELS:
+        mapping.append((f"hf_{c}hf", "gpu"))  # noqa: E241
+        mapping.append((f"vf_{c}vf", "gpu"))
+    return Allocation(platform=GPU_CPU_PLATFORM, mapping=tuple(mapping))

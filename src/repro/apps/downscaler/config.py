@@ -1,0 +1,196 @@
+"""Downscaler configuration (paper Section III / Figure 10).
+
+The H.263 downscaler shrinks a frame by 8/3 horizontally and 9/4
+vertically with 6-tap integer interpolation windows (``out = tmp/6 -
+tmp%6``).  These factors reproduce both resolutions the paper quotes:
+CIF 352x288 -> 132x128 and HD 1920x1080 -> 720x480.
+
+Each filter is described by a :class:`FilterConfig` carrying the ArrayOL
+tiler triplets — the single source of truth shared by the SaC program
+generator, the ArrayOL model builder, the NumPy golden reference and the
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.tilers import Tiler
+
+__all__ = [
+    "FilterConfig",
+    "FrameSize",
+    "horizontal_filter",
+    "vertical_filter",
+    "HD",
+    "CIF",
+    "H_PACK",
+    "H_OUT",
+    "V_PACK",
+    "V_OUT",
+    "WINDOW_TAPS",
+    "H_WINDOW_OFFSETS",
+    "V_WINDOW_OFFSETS",
+]
+
+#: horizontal packet: 8 input columns -> 3 output columns
+H_PACK, H_OUT = 8, 3
+#: vertical packet: 9 input rows -> 4 output rows
+V_PACK, V_OUT = 9, 4
+#: every output pixel averages 6 consecutive inputs (paper Figure 5)
+WINDOW_TAPS = 6
+#: window start offsets within the input pattern
+H_WINDOW_OFFSETS = (0, 3, 6)
+V_WINDOW_OFFSETS = (0, 4, 6, 8)
+
+#: input pattern lengths (last window offset + taps)
+H_PATTERN = H_WINDOW_OFFSETS[-1] + WINDOW_TAPS  # 12
+V_PATTERN = V_WINDOW_OFFSETS[-1] + WINDOW_TAPS  # 14
+
+
+@dataclass(frozen=True)
+class FrameSize:
+    """A frame geometry (rows x cols)."""
+
+    rows: int
+    cols: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rows % V_PACK != 0:
+            raise ReproError(
+                f"frame rows {self.rows} not divisible by the vertical packet "
+                f"{V_PACK}"
+            )
+        if self.cols % H_PACK != 0:
+            raise ReproError(
+                f"frame cols {self.cols} not divisible by the horizontal packet "
+                f"{H_PACK}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def h_out_shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols // H_PACK * H_OUT)
+
+    @property
+    def out_shape(self) -> tuple[int, int]:
+        return (self.rows // V_PACK * V_OUT, self.cols // H_PACK * H_OUT)
+
+
+#: the paper's evaluation frame (1080x1920 HD)
+HD = FrameSize(rows=1080, cols=1920, name="HD")
+#: the paper's motivating CIF format (352x288 -> 132x128)
+CIF = FrameSize(rows=288, cols=352, name="CIF")
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """One downscaler filter as ArrayOL tiler triplets plus the task spec."""
+
+    name: str
+    frame_shape: tuple[int, int]
+    out_shape: tuple[int, int]
+    pattern: int
+    out_pattern: int
+    window_offsets: tuple[int, ...]
+    axis: int  # 0 = vertical (rows), 1 = horizontal (cols)
+
+    @property
+    def packet(self) -> int:
+        """Input elements consumed per repetition step along the axis."""
+        return (V_PACK, H_PACK)[self.axis]
+
+    @property
+    def repetition_shape(self) -> tuple[int, int]:
+        if self.axis == 1:
+            return (self.frame_shape[0], self.frame_shape[1] // H_PACK)
+        return (self.frame_shape[0] // V_PACK, self.frame_shape[1])
+
+    # -- ArrayOL tilers ------------------------------------------------------
+
+    @property
+    def input_tiler(self) -> Tiler:
+        if self.axis == 1:
+            fitting = ((0,), (1,))
+            paving = ((1, 0), (0, H_PACK))
+        else:
+            fitting = ((1,), (0,))
+            paving = ((V_PACK, 0), (0, 1))
+        return Tiler(
+            origin=(0, 0),
+            fitting=fitting,
+            paving=paving,
+            array_shape=self.frame_shape,
+            pattern_shape=(self.pattern,),
+            repetition_shape=self.repetition_shape,
+            name=f"{self.name}_in",
+        )
+
+    @property
+    def output_tiler(self) -> Tiler:
+        if self.axis == 1:
+            fitting = ((0,), (1,))
+            paving = ((1, 0), (0, H_OUT))
+        else:
+            fitting = ((1,), (0,))
+            paving = ((V_OUT, 0), (0, 1))
+        return Tiler(
+            origin=(0, 0),
+            fitting=fitting,
+            paving=paving,
+            array_shape=self.out_shape,
+            pattern_shape=(self.out_pattern,),
+            repetition_shape=self.repetition_shape,
+            name=f"{self.name}_out",
+        )
+
+    # -- paper-aligned structural facts ---------------------------------------
+
+    @property
+    def wrapping_outputs(self) -> tuple[int, ...]:
+        """Window indices whose last packet wraps around the frame edge.
+
+        These become the extra boundary kernels after WLF: 2 for the
+        horizontal filter, 3 for the vertical — yielding the paper's 5 and
+        7 kernels (Table II).
+        """
+        extent = self.frame_shape[self.axis]
+        last_ref = extent - self.packet
+        return tuple(
+            k
+            for k, off in enumerate(self.window_offsets)
+            if last_ref + off + WINDOW_TAPS > extent
+        )
+
+    @property
+    def expected_kernels_after_wlf(self) -> int:
+        return self.out_pattern + len(self.wrapping_outputs)
+
+
+def horizontal_filter(size: FrameSize = HD) -> FilterConfig:
+    return FilterConfig(
+        name="hfilter",
+        frame_shape=size.shape,
+        out_shape=size.h_out_shape,
+        pattern=H_PATTERN,
+        out_pattern=H_OUT,
+        window_offsets=H_WINDOW_OFFSETS,
+        axis=1,
+    )
+
+
+def vertical_filter(size: FrameSize = HD) -> FilterConfig:
+    return FilterConfig(
+        name="vfilter",
+        frame_shape=size.h_out_shape,
+        out_shape=size.out_shape,
+        pattern=V_PATTERN,
+        out_pattern=V_OUT,
+        window_offsets=V_WINDOW_OFFSETS,
+        axis=0,
+    )

@@ -1,0 +1,71 @@
+"""NumPy golden reference for the downscaler.
+
+Implements the three-step semantics of the paper's Section VI directly with
+the tiler algebra: gather patterns, apply the 6-tap integer interpolation
+(``out = tmp/6 - tmp%6`` with C truncation), scatter to the output frame.
+Every compiled route (SaC interpreter, SaC->CUDA, ArrayOL->OpenCL, host
+sequential) is tested bit-exactly against this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.downscaler.config import (
+    WINDOW_TAPS,
+    FilterConfig,
+    FrameSize,
+    horizontal_filter,
+    vertical_filter,
+)
+from repro.ir.expr import c_div, c_mod
+from repro.tilers import gather, scatter_into_zeros
+
+__all__ = [
+    "interpolate_tiles",
+    "apply_filter",
+    "downscale_frame",
+    "downscale_video",
+]
+
+
+def interpolate_tiles(tiles: np.ndarray, window_offsets) -> np.ndarray:
+    """Apply the paper's Figure 5 task to gathered patterns.
+
+    ``tiles`` has shape ``repetition + (pattern,)``; the result has shape
+    ``repetition + (len(window_offsets),)``.
+    """
+    tiles64 = tiles.astype(np.int64)
+    outs = []
+    for off in window_offsets:
+        tmp = tiles64[..., off : off + WINDOW_TAPS].sum(axis=-1)
+        outs.append(c_div(tmp, 6) - c_mod(tmp, 6))
+    return np.stack(outs, axis=-1).astype(tiles.dtype)
+
+
+def apply_filter(frame: np.ndarray, config: FilterConfig) -> np.ndarray:
+    """One filter pass: input tiler -> task -> output tiler."""
+    frame = np.asarray(frame, dtype=np.int32)
+    if frame.shape != config.frame_shape:
+        raise ValueError(
+            f"{config.name}: frame shape {frame.shape} != expected "
+            f"{config.frame_shape}"
+        )
+    tiles = gather(config.input_tiler, frame)
+    compressed = interpolate_tiles(tiles, config.window_offsets)
+    return scatter_into_zeros(config.output_tiler, compressed, dtype=np.int32)
+
+
+def downscale_frame(frame: np.ndarray, size: FrameSize) -> np.ndarray:
+    """Full per-channel downscale: horizontal then vertical filter."""
+    h = apply_filter(frame, horizontal_filter(size))
+    return apply_filter(h, vertical_filter(size))
+
+
+def downscale_video(frames, size: FrameSize) -> list[np.ndarray]:
+    """Downscale a sequence of (rows, cols, 3) RGB frames channel-wise."""
+    out = []
+    for frame in frames:
+        channels = [downscale_frame(frame[..., c], size) for c in range(frame.shape[-1])]
+        out.append(np.stack(channels, axis=-1))
+    return out

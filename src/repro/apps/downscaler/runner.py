@@ -1,0 +1,391 @@
+"""Experiment runner: regenerates the paper's evaluation artefacts.
+
+Drives both compilation routes over the synthetic video and aggregates the
+profiles into the exact shapes the paper reports:
+
+* :meth:`DownscalerLab.table1` — Gaspard2/OpenCL operation breakdown;
+* :meth:`DownscalerLab.table2` — SaC/CUDA (non-generic) breakdown;
+* :meth:`DownscalerLab.figure9` — per-filter execution times of the four
+  SaC configurations;
+* :meth:`DownscalerLab.figure12` — per-operation comparison of the routes;
+* :meth:`DownscalerLab.headline_claims` — the Section VIII/IX ratios.
+
+Timing convention (matching the paper): the tables process ``frames``
+frames x 3 RGB channels (900 transfer calls at 300 frames); Figure 9 runs
+each filter for ``frames`` iterations on one channel, counting the filter's
+*own* work — kernels, host steps and intermediate transfers — but not the
+shared frame upload/result download that the tables account separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.downscaler import reference
+from repro.apps.downscaler.arrayol_model import downscaler_allocation, downscaler_model
+from repro.apps.downscaler.config import HD, FrameSize, horizontal_filter, vertical_filter
+from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC, downscaler_program_source
+from repro.apps.downscaler.video import channels_of, synthetic_frame
+from repro.arrayol.transform import GaspardContext, standard_chain
+from repro.cpu import CPUExecutor
+from repro.errors import ReproError
+from repro.gpu import CostModel, CostParams, GPUExecutor, GTX480_CALIBRATED, Profiler
+from repro.gpu.profiler import ProfileRow
+from repro.ir.program import AllocDevice, DeviceProgram, DeviceToHost, HostToDevice, LaunchKernel
+from repro.ir.validate import validate_program
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.parser import parse
+
+__all__ = [
+    "OperationTable",
+    "Figure9Row",
+    "Figure12Series",
+    "DownscalerLab",
+]
+
+
+@dataclass(frozen=True)
+class OperationTable:
+    """A Table I/II-shaped result."""
+
+    title: str
+    rows: tuple[ProfileRow, ...]
+    total_us: float
+
+    def row(self, label_prefix: str) -> ProfileRow:
+        for r in self.rows:
+            if r.operation.startswith(label_prefix):
+                return r
+        raise KeyError(label_prefix)
+
+
+@dataclass(frozen=True)
+class Figure9Row:
+    """One bar group of Figure 9: a filter under one configuration."""
+
+    configuration: str  # e.g. "SAC-Seq Generic"
+    hfilter_s: float
+    vfilter_s: float
+
+
+@dataclass(frozen=True)
+class Figure12Series:
+    """Figure 12: per-operation seconds for both routes."""
+
+    operations: tuple[str, ...]
+    sac_s: tuple[float, ...]
+    gaspard_s: tuple[float, ...]
+
+
+class DownscalerLab:
+    """Compiles, validates and times every downscaler configuration."""
+
+    def __init__(
+        self,
+        size: FrameSize = HD,
+        frames: int = 300,
+        params: CostParams = GTX480_CALIBRATED,
+        validate: bool = True,
+    ):
+        self.size = size
+        self.frames = frames
+        self.params = params
+        self.validate = validate
+        self._programs: dict = {}
+        self._frame0 = synthetic_frame(size, 0)
+        self._golden0 = {
+            c: reference.downscale_frame(self._frame0[..., i], size)
+            for i, c in enumerate("rgb")
+        }
+
+    # -- compilation -------------------------------------------------------------
+
+    def sac_compiled(self, variant: str, target: str, entry: str = "downscale"):
+        key = ("sac", variant, target, entry)
+        if key not in self._programs:
+            prog = parse(downscaler_program_source(self.size, variant))
+            cf = compile_function(prog, entry, CompileOptions(target=target))
+            if target == "cuda":
+                validate_program(cf.program)
+            self._programs[key] = cf
+        return self._programs[key]
+
+    def gaspard_compiled(self):
+        key = ("gaspard",)
+        if key not in self._programs:
+            ctx = GaspardContext(
+                model=downscaler_model(self.size), allocation=downscaler_allocation()
+            )
+            chain = standard_chain()
+            ctx = chain.run(ctx)
+            validate_program(ctx.program)
+            self._programs[key] = (ctx, chain)
+        return self._programs[key]
+
+    # -- execution helpers -----------------------------------------------------------
+
+    def _gpu_executor(self) -> GPUExecutor:
+        return GPUExecutor(CostModel(self.params))
+
+    def _cpu_executor(self) -> CPUExecutor:
+        return CPUExecutor(CostModel(self.params))
+
+    def _check_sac_outputs(self, cf, outputs, channel: str, entry: str) -> None:
+        if not self.validate:
+            return
+        out = outputs[cf.program.host_outputs[0]]
+        if entry == "downscale":
+            expected = self._golden0[channel]
+        elif entry == "hfilter":
+            expected = reference.apply_filter(
+                self._channel0(channel), horizontal_filter(self.size)
+            )
+        elif entry == "vfilter":
+            hout = reference.apply_filter(
+                self._channel0(channel), horizontal_filter(self.size)
+            )
+            expected = reference.apply_filter(hout, vertical_filter(self.size))
+        else:
+            return
+        if not np.array_equal(out, expected):
+            raise ReproError(
+                f"{cf.program.name}: functional mismatch on channel {channel!r}"
+            )
+
+    def _channel0(self, channel: str) -> np.ndarray:
+        return channels_of(self._frame0)[channel]
+
+    def run_sac(self, variant: str, target: str, entry: str = "downscale"):
+        """Run a SaC program over frames x 3 channels; returns (executor, runs)."""
+        cf = self.sac_compiled(variant, target, entry)
+        ex = self._gpu_executor() if target == "cuda" else self._cpu_executor()
+        chans = channels_of(self._frame0)
+        runs = []
+        first = True
+        for f in range(self.frames):
+            for c in "rgb":
+                if first:
+                    inp = chans[c] if entry != "vfilter" else reference.apply_filter(
+                        chans[c], horizontal_filter(self.size)
+                    )
+                    res = ex.run(cf.program, {"frame": inp})
+                    self._check_sac_outputs(cf, res.outputs, c, entry)
+                    first = False
+                else:
+                    res = ex.run(cf.program, functional=False)
+                runs.append(res)
+        return cf, ex, runs
+
+    def run_gaspard(self):
+        """Run the Gaspard2 program over ``frames`` frames (3 channels each)."""
+        ctx, _chain = self.gaspard_compiled()
+        ex = self._gpu_executor()
+        env = {f"in_{c}": v for c, v in channels_of(self._frame0).items()}
+        runs = []
+        for f in range(self.frames):
+            if f == 0:
+                res = ex.run(ctx.program, env)
+                if self.validate:
+                    for c in "rgb":
+                        if not np.array_equal(res.outputs[f"out_{c}"], self._golden0[c]):
+                            raise ReproError(
+                                f"gaspard: functional mismatch on channel {c!r}"
+                            )
+            else:
+                res = ex.run(ctx.program, functional=False)
+            runs.append(res)
+        return ctx, ex, runs
+
+    # -- kernel/filter attribution ------------------------------------------------------
+
+    def _filter_grouping(self, program: DeviceProgram) -> tuple[dict[str, str], dict[str, int]]:
+        """Map kernel names to 'H. Filter (n kernels)' / 'V. Filter' labels."""
+        h_shape = horizontal_filter(self.size).out_shape
+        v_shape = vertical_filter(self.size).out_shape
+        h_kernels, v_kernels = [], []
+        for k in program.kernels:
+            out_shapes = {a.shape for a in k.output_arrays}
+            if h_shape in out_shapes:
+                h_kernels.append(k.name)
+            elif v_shape in out_shapes:
+                v_kernels.append(k.name)
+        h_unique = sorted(set(h_kernels))
+        v_unique = sorted(set(v_kernels))
+        grouping: dict[str, str] = {}
+        counts = {"H": len(h_unique), "V": len(v_unique)}
+        for name in h_unique:
+            grouping[name] = f"H. Filter ({counts['H']} kernels)"
+        for name in v_unique:
+            grouping[name] = f"V. Filter ({counts['V']} kernels)"
+        return grouping, counts
+
+    def _gpu_table(self, title: str, program: DeviceProgram, profiler: Profiler) -> OperationTable:
+        grouping, _ = self._filter_grouping(program)
+        rows = [
+            r
+            for r in profiler.rows(grouping)
+            if not r.operation.startswith(("host", "ip:", "cpu:"))
+        ]
+        # paper layout: filters first, then HtoD, then DtoH
+        def order(r: ProfileRow) -> int:
+            if r.operation.startswith("H. Filter"):
+                return 0
+            if r.operation.startswith("V. Filter"):
+                return 1
+            if "HtoD" in r.operation:
+                return 2
+            return 3
+
+        rows.sort(key=order)
+        # normalise call counts to frames (the paper reports per-kernel calls)
+        fixed = []
+        for r in rows:
+            calls = self.frames if r.operation.endswith("kernels)") else r.calls
+            fixed.append(
+                ProfileRow(r.operation, calls, r.gpu_time_us, r.gpu_time_pct)
+            )
+        total = sum(r.gpu_time_us for r in rows)
+        # recompute percentages over the GPU-only total
+        fixed = [
+            ProfileRow(r.operation, r.calls, r.gpu_time_us,
+                       100.0 * r.gpu_time_us / total if total else 0.0)
+            for r in fixed
+        ]
+        return OperationTable(title=title, rows=tuple(fixed), total_us=total)
+
+    # -- the paper's artefacts -------------------------------------------------------------
+
+    def table1(self) -> OperationTable:
+        """Table I: Gaspard2 kernel execution and data transfer times."""
+        ctx, ex, _runs = self.run_gaspard()
+        return self._gpu_table(
+            "Kernel execution and data transfer times of GASPARD2 implementation",
+            ctx.program,
+            ex.profiler,
+        )
+
+    def table2(self) -> OperationTable:
+        """Table II: SaC (non-generic) kernel execution and transfer times."""
+        cf, ex, _runs = self.run_sac(NONGENERIC, "cuda")
+        return self._gpu_table(
+            "Kernel execution and data transfer times of SAC implementation",
+            cf.program,
+            ex.profiler,
+        )
+
+    # -- Figure 9 ---------------------------------------------------------------------------
+
+    def _filter_work_us(self, cf, executor) -> float:
+        """One run's filter-own work: kernels + host steps + intermediate
+        transfers (boundary frame upload / result download excluded)."""
+        program = cf.program
+        cost = executor.cost
+        shapes = {
+            op.buffer: op for op in program.ops if isinstance(op, AllocDevice)
+        }
+        total = 0.0
+        for op in program.ops:
+            if isinstance(op, LaunchKernel):
+                if isinstance(executor, GPUExecutor):
+                    total += executor.kernel_breakdown(op.kernel).total_us
+                else:
+                    total += executor.kernel_time_us(op.kernel)
+            elif isinstance(op, HostToDevice):
+                if op.host not in program.host_inputs:
+                    total += cost.h2d_time_us(shapes[op.device].nbytes)
+            elif isinstance(op, DeviceToHost):
+                if op.host not in program.host_outputs:
+                    total += cost.d2h_time_us(shapes[op.device].nbytes)
+            elif hasattr(op, "work"):
+                total += cost.host_work_time_us(op.work)
+        return total
+
+    def figure9(self) -> list[Figure9Row]:
+        """Per-filter execution times (seconds, ``frames`` iterations)."""
+        out = []
+        for variant in (GENERIC, NONGENERIC):
+            for target, label in (("seq", "SAC-Seq"), ("cuda", "SAC-CUDA")):
+                times = {}
+                for entry in ("hfilter", "vfilter"):
+                    cf = self.sac_compiled(variant, target, entry)
+                    ex = self._gpu_executor() if target == "cuda" else self._cpu_executor()
+                    # functional validation once
+                    if self.validate:
+                        inp = (
+                            self._channel0("r")
+                            if entry == "hfilter"
+                            else reference.apply_filter(
+                                self._channel0("r"), horizontal_filter(self.size)
+                            )
+                        )
+                        res = ex.run(cf.program, {"frame": inp})
+                        self._check_sac_outputs(cf, res.outputs, "r", entry)
+                    per_run = self._filter_work_us(cf, ex)
+                    times[entry] = per_run * self.frames / 1e6
+                suffix = "Generic" if variant == GENERIC else "Non-Generic"
+                out.append(
+                    Figure9Row(
+                        configuration=f"{label} {suffix}",
+                        hfilter_s=times["hfilter"],
+                        vfilter_s=times["vfilter"],
+                    )
+                )
+        return out
+
+    # -- Figure 12 ----------------------------------------------------------------------------
+
+    def figure12(self) -> Figure12Series:
+        """Per-operation comparison of the two routes (seconds)."""
+        t2 = self.table2()
+        t1 = self.table1()
+
+        def seconds(table: OperationTable, prefix: str) -> float:
+            try:
+                return table.row(prefix).gpu_time_us / 1e6
+            except KeyError:
+                return 0.0
+
+        ops = ("Horizontal Filter", "Vertical Filter", "Host2Device", "Device2Host")
+        sac = (
+            seconds(t2, "H. Filter"),
+            seconds(t2, "V. Filter"),
+            seconds(t2, "memcpyHtoD"),
+            seconds(t2, "memcpyDtoH"),
+        )
+        gaspard = (
+            seconds(t1, "H. Filter"),
+            seconds(t1, "V. Filter"),
+            seconds(t1, "memcpyHtoD"),
+            seconds(t1, "memcpyDtoH"),
+        )
+        return Figure12Series(operations=ops, sac_s=sac, gaspard_s=gaspard)
+
+    # -- headline claims -------------------------------------------------------------------------
+
+    def headline_claims(self) -> dict[str, float]:
+        """The Section VIII/IX ratios the paper states."""
+        fig9 = {r.configuration: r for r in self.figure9()}
+        gen_cuda = fig9["SAC-CUDA Generic"]
+        non_cuda = fig9["SAC-CUDA Non-Generic"]
+        gen_seq = fig9["SAC-Seq Generic"]
+        non_seq = fig9["SAC-Seq Non-Generic"]
+        t1 = self.table1()
+        t2 = self.table2()
+        transfers1 = sum(
+            r.gpu_time_us for r in t1.rows if r.operation.startswith("memcpy")
+        )
+        transfers2 = sum(
+            r.gpu_time_us for r in t2.rows if r.operation.startswith("memcpy")
+        )
+        return {
+            "generic_over_nongeneric_h": gen_cuda.hfilter_s / non_cuda.hfilter_s,
+            "generic_over_nongeneric_v": gen_cuda.vfilter_s / non_cuda.vfilter_s,
+            "speedup_gpu_vs_seq_h": non_seq.hfilter_s / non_cuda.hfilter_s,
+            "speedup_gpu_vs_seq_v": non_seq.vfilter_s / non_cuda.vfilter_s,
+            "seq_generic_over_nongeneric_h": gen_seq.hfilter_s / non_seq.hfilter_s,
+            "transfer_share_gaspard": transfers1 / t1.total_us,
+            "transfer_share_sac": transfers2 / t2.total_us,
+            "gaspard_over_sac_total": t1.total_us / t2.total_us,
+        }

@@ -1,0 +1,201 @@
+"""The downscaler's SaC source programs (paper Figures 4-7).
+
+Generates the four variants the paper evaluates from a
+:class:`~repro.apps.downscaler.config.FilterConfig`:
+
+* **generic** — the reusable tiler abstractions: the generic input tiler
+  (Figure 4), the task (Figure 5) and the generic *for-loop* output tiler
+  (Figure 6).  WLF cannot fold the for-loop nest, so after compilation the
+  output tiler runs on the host (Section VIII-A).
+* **non-generic** — the same input tiler and task, but the WITH-loop
+  output tiler specialised to the tile size (Figure 7), which WLF fuses
+  into a single WITH-loop per filter (Figure 8).
+
+Sources are generated as text and parsed by the normal frontend — the
+compiler pipeline sees exactly what a user would write.
+"""
+
+from __future__ import annotations
+
+from repro.apps.downscaler.config import (
+    WINDOW_TAPS,
+    FilterConfig,
+    FrameSize,
+    horizontal_filter,
+    vertical_filter,
+)
+
+__all__ = [
+    "GENERIC",
+    "NONGENERIC",
+    "tiler_library_source",
+    "task_source",
+    "nongeneric_output_tiler_source",
+    "filter_source",
+    "downscaler_program_source",
+]
+
+GENERIC = "generic"
+NONGENERIC = "nongeneric"
+
+#: Figure 4 — the generic input tiler, verbatim in spirit.
+_INPUT_TILER = """
+int[*] input_tiler(int[*] in_frame, int[.] in_pattern, int[.] repetition,
+                   int[.] origin, int[.,.] fitting, int[.,.] paving)
+{
+  output = with {
+    (. <= rep <= .) {
+      tile = with {
+        (. <= pat <= .) {
+          off = origin + MV( CAT( paving, fitting), rep ++ pat);
+          iv = off % shape(in_frame);
+          elem = in_frame[iv];
+        } : elem;
+      } : genarray( in_pattern, 0);
+    } : tile;
+  } : genarray( repetition);
+  return( output);
+}
+"""
+
+#: Figure 6 — the generic output tiler (a for-loop nest WLF cannot fold).
+_GENERIC_OUTPUT_TILER = """
+int[*] generic_output_tiler(int[*] out_frame, int[*] input, int[.] out_pattern,
+                            int[.] repetition, int[.] origin, int[.,.] fitting,
+                            int[.,.] paving)
+{
+  for( i = 0; i < repetition[[0]]; i++) {
+    for( j = 0; j < repetition[[1]]; j++) {
+      for( k = 0; k < out_pattern[[0]]; k++) {
+        off = origin + MV( CAT( paving, fitting), [i, j, k]);
+        iv = off % shape( out_frame);
+        out_frame[iv] = input[[i, j, k]];
+      }
+    }
+  }
+  return( out_frame);
+}
+"""
+
+
+def tiler_library_source() -> str:
+    """The generic tiler functions shared by every variant."""
+    return _INPUT_TILER + _GENERIC_OUTPUT_TILER
+
+
+def task_source(config: FilterConfig, name: str) -> str:
+    """Figure 5 — the interpolation task with explicit 6-tap windows."""
+    lines = [
+        f"int[*] {name}(int[*] input, int[.] out_pattern, int[.] repetition)",
+        "{",
+        "  output = with {",
+        "    (. <= rep <= .) {",
+        "      tile = genarray( out_pattern, 0);",
+    ]
+    for k, off in enumerate(config.window_offsets):
+        terms = " + ".join(
+            f"input[rep][{off + t}]" for t in range(WINDOW_TAPS)
+        )
+        lines.append(f"      tmp{k} = {terms};")
+        lines.append(f"      tile[{k}] = tmp{k} / 6 - tmp{k} % 6;")
+    lines += [
+        "    } : tile;",
+        "  } : genarray( repetition);",
+        "  return( output);",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def nongeneric_output_tiler_source(config: FilterConfig, name: str) -> str:
+    """Figure 7 — the output tiler specialised to the tile size."""
+    n = config.out_pattern
+    lines = [f"int[*] {name}(int[*] output, int[*] input)", "{", "  output = with {"]
+    for k in range(n):
+        if config.axis == 1:
+            lower = f"[0,{k}]"
+            step = f"[1,{n}]"
+            index = f"[[i, j/{n}, {k}]]"
+        else:
+            lower = f"[{k},0]"
+            step = f"[{n},1]"
+            index = f"[[i/{n}, j, {k}]]"
+        lines.append(f"    ({lower} <= [i,j] <= . step {step}) : input{index};")
+    lines += ["  } : modarray( output);", "  return( output);", "}"]
+    return "\n".join(lines) + "\n"
+
+
+def _matrix(rows: tuple[tuple[int, ...], ...]) -> str:
+    return "[" + ", ".join("[" + ",".join(str(x) for x in r) + "]" for r in rows) + "]"
+
+
+def _vector(v) -> str:
+    return "[" + ",".join(str(x) for x in v) + "]"
+
+
+def _tiler_rows(tiler) -> tuple[str, str]:
+    """(fitting, paving) in the Figure 10 row convention (one row per
+    repetition/pattern dimension) from a column-convention Tiler."""
+    f = tuple(zip(*tiler.fitting))  # transpose: pattern dims as rows
+    p = tuple(zip(*tiler.paving))
+    return _matrix(f), _matrix(p)
+
+
+def filter_source(config: FilterConfig, variant: str, name: str | None = None) -> str:
+    """The per-filter driver binding concrete tiler parameters."""
+    if variant not in (GENERIC, NONGENERIC):
+        raise ValueError(f"unknown variant {variant!r}")
+    name = name or config.name
+    rows, cols = config.frame_shape
+    orow, ocol = config.out_shape
+    rep = _vector(config.repetition_shape)
+    in_fit, in_pav = _tiler_rows(config.input_tiler)
+    out_fit, out_pav = _tiler_rows(config.output_tiler)
+    task = f"task_{name}"
+    lines = [
+        f"int[{orow},{ocol}] {name}(int[{rows},{cols}] frame)",
+        "{",
+        f"  inter = input_tiler(frame, [{config.pattern}], {rep}, [0,0], "
+        f"{in_fit}, {in_pav});",
+        f"  comp = {task}(inter, [{config.out_pattern}], {rep});",
+        f"  canvas = genarray([{orow},{ocol}], 0);",
+    ]
+    if variant == NONGENERIC:
+        lines.append(f"  out = output_tiler_{name}(canvas, comp);")
+    else:
+        lines.append(
+            f"  out = generic_output_tiler(canvas, comp, [{config.out_pattern}], "
+            f"{rep}, [0,0], {out_fit}, {out_pav});"
+        )
+    lines += ["  return( out);", "}"]
+    return "\n".join(lines) + "\n"
+
+
+def downscaler_program_source(size: FrameSize, variant: str) -> str:
+    """The complete two-filter downscaler program for one frame size."""
+    h = horizontal_filter(size)
+    v = vertical_filter(size)
+    parts = [tiler_library_source()]
+    parts.append(task_source(h, f"task_{h.name}"))
+    parts.append(task_source(v, f"task_{v.name}"))
+    if variant == NONGENERIC:
+        parts.append(nongeneric_output_tiler_source(h, f"output_tiler_{h.name}"))
+        parts.append(nongeneric_output_tiler_source(v, f"output_tiler_{v.name}"))
+    parts.append(filter_source(h, variant))
+    parts.append(filter_source(v, variant))
+    orow, ocol = v.out_shape
+    rows, cols = size.shape
+    parts.append(
+        "\n".join(
+            [
+                f"int[{orow},{ocol}] downscale(int[{rows},{cols}] frame)",
+                "{",
+                f"  h = {h.name}(frame);",
+                f"  v = {v.name}(h);",
+                "  return( v);",
+                "}",
+            ]
+        )
+        + "\n"
+    )
+    return "\n".join(parts)

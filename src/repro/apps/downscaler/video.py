@@ -1,0 +1,48 @@
+"""Synthetic video source (substitute for the paper's OpenCV input).
+
+Generates deterministic 24-bit RGB frames (paper Section III: "each video
+pixel is encoded in 24-bit RGB colour model") with enough structure to
+exercise the filters: moving gradients, a drifting checkerboard and a
+block of per-frame pseudo-random texture.  Content is irrelevant to the
+timing model; it only feeds the bit-exact functional checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.apps.downscaler.config import FrameSize
+
+__all__ = ["synthetic_frame", "video_frames", "channels_of"]
+
+
+def synthetic_frame(size: FrameSize, t: int) -> np.ndarray:
+    """Frame ``t`` of the synthetic clip, shape ``(rows, cols, 3)`` int32
+    with values in [0, 256)."""
+    rows, cols = size.shape
+    y = np.arange(rows, dtype=np.int64)[:, None]
+    x = np.arange(cols, dtype=np.int64)[None, :]
+    r = (x * 255 // max(1, cols - 1) + 3 * t) % 256
+    g = (y * 255 // max(1, rows - 1) + 5 * t) % 256
+    checker = (((y + t) // 8 + (x + 2 * t) // 8) % 2) * 255
+    b = checker
+    frame = np.stack([r + 0 * y, g + 0 * x, b + 0 * x * y], axis=-1)
+    # a deterministic "noisy" block so neighbouring pixels differ
+    rng = np.random.default_rng(1000 + t)
+    br = min(rows, 32)
+    bc = min(cols, 32)
+    frame[:br, :bc, :] = rng.integers(0, 256, size=(br, bc, 3))
+    return frame.astype(np.int32)
+
+
+def video_frames(size: FrameSize, count: int, start: int = 0) -> Iterator[np.ndarray]:
+    """``count`` consecutive synthetic frames."""
+    for t in range(start, start + count):
+        yield synthetic_frame(size, t)
+
+
+def channels_of(frame: np.ndarray) -> dict[str, np.ndarray]:
+    """Split an RGB frame into the per-channel arrays the programs take."""
+    return {c: np.ascontiguousarray(frame[..., i]) for i, c in enumerate("rgb")}

@@ -1,0 +1,28 @@
+"""ArrayOL / Gaspard2 substrate: metamodel, validation, scheduling,
+MARTE allocation, model transformation chain, OpenCL code generation."""
+
+from repro.arrayol.marte import GPU_CPU_PLATFORM, Allocation, HwResource, Platform
+from repro.arrayol.model import (
+    ApplicationModel,
+    CompoundTask,
+    ElementaryTask,
+    IOTask,
+    Link,
+    PatternExpr,
+    Port,
+    RepetitiveTask,
+    Task,
+    TaskInstance,
+    TilerConnector,
+)
+from repro.arrayol.schedule import buffer_bindings, schedule_instances
+from repro.arrayol.validate import dataflow_graph, validate_model, validate_task
+
+__all__ = [
+    "Port", "PatternExpr", "Task", "ElementaryTask", "IOTask",
+    "TilerConnector", "RepetitiveTask", "TaskInstance", "Link",
+    "CompoundTask", "ApplicationModel",
+    "HwResource", "Platform", "Allocation", "GPU_CPU_PLATFORM",
+    "validate_model", "validate_task", "dataflow_graph",
+    "schedule_instances", "buffer_bindings",
+]

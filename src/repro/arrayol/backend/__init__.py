@@ -1,0 +1,7 @@
+"""ArrayOL OpenCL backend: kernel lowering and source emission."""
+
+from repro.arrayol.backend.lower import kernel_for_repetitive, tiler_index_exprs
+from repro.arrayol.backend.openclgen import opencl_kernel_source, opencl_source
+
+__all__ = ["kernel_for_repetitive", "tiler_index_exprs",
+           "opencl_kernel_source", "opencl_source"]

@@ -1,0 +1,280 @@
+"""The ArrayOL metamodel (paper Sections II-A and IV).
+
+ArrayOL specifies an application as a hierarchy of tasks exchanging
+multidimensional arrays through ports, following the GILR principle
+(Globally Irregular, Locally Regular):
+
+* **global level** — a :class:`CompoundTask`: a graph of task instances
+  whose ports are connected by links (the paper's Figure 3);
+* **local level** — a :class:`RepetitiveTask`: one inner task repeated over
+  a *repetition space*, its ports bound to the outer arrays by **tiler
+  connectors** (origin / fitting / paving — :class:`repro.tilers.Tiler`);
+* **leaves** — :class:`ElementaryTask` (opaque computation on patterns,
+  specified as unrolled per-output-element expressions over input-pattern
+  reads) and :class:`IOTask` (tasks linked to an IP, e.g. the paper's
+  OpenCV frame generator/constructor).
+
+The model is purely declarative; scheduling and code generation live in
+:mod:`repro.arrayol.schedule` and :mod:`repro.arrayol.backend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ModelValidationError
+from repro.ir import expr as ir
+from repro.tilers import Tiler
+
+__all__ = [
+    "Port",
+    "PatternExpr",
+    "Task",
+    "ElementaryTask",
+    "IOTask",
+    "TilerConnector",
+    "RepetitiveTask",
+    "TaskInstance",
+    "Link",
+    "CompoundTask",
+    "ApplicationModel",
+]
+
+
+@dataclass(frozen=True)
+class Port:
+    """A task port carrying an array of a fixed shape and element type."""
+
+    name: str
+    shape: tuple[int, ...]
+    direction: str = "in"  # "in" | "out"
+    dtype: str = "int32"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        if self.direction not in ("in", "out"):
+            raise ModelValidationError(
+                f"port direction must be in/out, got {self.direction!r}", self.name
+            )
+        if any(s <= 0 for s in self.shape):
+            raise ModelValidationError(
+                f"port shape must be positive, got {self.shape}", self.name
+            )
+        if self.dtype not in ("int32", "float32", "float64"):
+            raise ModelValidationError(
+                f"unsupported port dtype {self.dtype!r}", self.name
+            )
+
+
+class Task:
+    """Base class of ArrayOL tasks."""
+
+    name: str
+    inputs: tuple[Port, ...]
+    outputs: tuple[Port, ...]
+
+    def port(self, name: str) -> Port:
+        for p in (*self.inputs, *self.outputs):
+            if p.name == name:
+                return p
+        raise ModelValidationError(f"no port {name!r}", self.name)
+
+
+@dataclass(frozen=True)
+class PatternExpr:
+    """One output-pattern element of an elementary task.
+
+    ``expr`` is a scalar kernel-IR expression whose :class:`~repro.ir.expr.Read`
+    nodes address *input ports* with constant pattern indices
+    (``Read("pattern_in", (Const(3),))``).
+    """
+
+    port: str
+    index: int
+    expr: ir.Expr
+
+
+@dataclass(frozen=True)
+class ElementaryTask(Task):
+    """A leaf computation on patterns (locally regular part).
+
+    ``locals`` are shared scalar subcomputations evaluated before the
+    output expressions (the paper's Figure 5 ``tmp`` sums); body
+    expressions reference them with :class:`~repro.ir.expr.LocalRef`.
+    """
+
+    name: str
+    inputs: tuple[Port, ...]
+    outputs: tuple[Port, ...]
+    body: tuple[PatternExpr, ...]
+    locals: tuple[tuple[str, ir.Expr], ...] = ()
+
+    def __post_init__(self) -> None:
+        input_names = {p.name for p in self.inputs}
+        local_names: set[str] = set()
+        for name, expr in self.locals:
+            for node in ir.walk(expr):
+                if isinstance(node, ir.Read) and node.array not in input_names:
+                    raise ModelValidationError(
+                        f"local {name!r} reads unknown port {node.array!r}",
+                        self.name,
+                    )
+                if isinstance(node, ir.LocalRef) and node.name not in local_names:
+                    raise ModelValidationError(
+                        f"local {name!r} uses undefined local {node.name!r}",
+                        self.name,
+                    )
+            local_names.add(name)
+        produced: set[tuple[str, int]] = set()
+        for pe in self.body:
+            port = self.port(pe.port)
+            if port.direction != "out":
+                raise ModelValidationError(
+                    f"body writes input port {pe.port!r}", self.name
+                )
+            if len(port.shape) != 1:
+                raise ModelValidationError(
+                    f"elementary output patterns must be vectors, got "
+                    f"{port.shape} on {pe.port!r}",
+                    self.name,
+                )
+            if not (0 <= pe.index < port.shape[0]):
+                raise ModelValidationError(
+                    f"pattern index {pe.index} outside {pe.port!r} shape "
+                    f"{port.shape}",
+                    self.name,
+                )
+            if (pe.port, pe.index) in produced:
+                raise ModelValidationError(
+                    f"pattern element {pe.port!r}[{pe.index}] written twice "
+                    f"(single assignment)",
+                    self.name,
+                )
+            produced.add((pe.port, pe.index))
+            for node in ir.walk(pe.expr):
+                if isinstance(node, ir.LocalRef) and node.name not in local_names:
+                    raise ModelValidationError(
+                        f"body uses undefined local {node.name!r}", self.name
+                    )
+                if isinstance(node, ir.Read):
+                    if node.array not in input_names:
+                        raise ModelValidationError(
+                            f"body reads unknown port {node.array!r}", self.name
+                        )
+                    in_port = self.port(node.array)
+                    if len(node.index) != len(in_port.shape):
+                        raise ModelValidationError(
+                            f"read of {node.array!r} with rank {len(node.index)}, "
+                            f"port rank {len(in_port.shape)}",
+                            self.name,
+                        )
+        # every output element must be produced
+        for p in self.outputs:
+            for k in range(p.shape[0]):
+                if (p.name, k) not in produced:
+                    raise ModelValidationError(
+                        f"pattern element {p.name!r}[{k}] never produced", self.name
+                    )
+
+
+@dataclass(frozen=True)
+class IOTask(Task):
+    """A task realised by an IP (host code), e.g. frame generation."""
+
+    name: str
+    inputs: tuple[Port, ...]
+    outputs: tuple[Port, ...]
+    ip: Callable[[dict], None] = field(compare=False)
+    #: static per-invocation scalar-operation estimate for the host cost model
+    work_ops: int = 0
+
+
+@dataclass(frozen=True)
+class TilerConnector:
+    """Binds an outer array port to an inner pattern port through a tiler."""
+
+    outer_port: str
+    inner_port: str
+    tiler: Tiler
+
+
+@dataclass(frozen=True)
+class RepetitiveTask(Task):
+    """Data-parallel repetition of an inner task over a repetition space."""
+
+    name: str
+    inputs: tuple[Port, ...]
+    outputs: tuple[Port, ...]
+    repetition: tuple[int, ...]
+    inner: Task = None  # type: ignore[assignment]
+    input_tilers: tuple[TilerConnector, ...] = ()
+    output_tilers: tuple[TilerConnector, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "repetition", tuple(int(r) for r in self.repetition))
+        if any(r <= 0 for r in self.repetition):
+            raise ModelValidationError(
+                f"repetition space must be positive, got {self.repetition}", self.name
+            )
+
+    def input_tiler_for(self, inner_port: str) -> TilerConnector:
+        for t in self.input_tilers:
+            if t.inner_port == inner_port:
+                return t
+        raise ModelValidationError(
+            f"no input tiler for inner port {inner_port!r}", self.name
+        )
+
+    def output_tiler_for(self, inner_port: str) -> TilerConnector:
+        for t in self.output_tilers:
+            if t.inner_port == inner_port:
+                return t
+        raise ModelValidationError(
+            f"no output tiler for inner port {inner_port!r}", self.name
+        )
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """A named use of a task inside a compound task."""
+
+    name: str
+    task: Task
+
+
+@dataclass(frozen=True)
+class Link:
+    """A dataflow connection between instance ports.
+
+    Endpoints are ``(instance, port)``; the compound's own ports use the
+    instance name ``""``.
+    """
+
+    src: tuple[str, str]
+    dst: tuple[str, str]
+
+
+@dataclass(frozen=True)
+class CompoundTask(Task):
+    """The globally-irregular level: a DAG of task instances."""
+
+    name: str
+    inputs: tuple[Port, ...]
+    outputs: tuple[Port, ...]
+    instances: tuple[TaskInstance, ...] = ()
+    links: tuple[Link, ...] = ()
+
+    def instance(self, name: str) -> TaskInstance:
+        for i in self.instances:
+            if i.name == name:
+                return i
+        raise ModelValidationError(f"no instance {name!r}", self.name)
+
+
+@dataclass(frozen=True)
+class ApplicationModel:
+    """A complete ArrayOL application: the top-level compound task."""
+
+    name: str
+    top: CompoundTask

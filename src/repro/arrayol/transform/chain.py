@@ -1,0 +1,76 @@
+"""The Gaspard2-style model transformation chain (paper Section V-B).
+
+In MDE a compilation is a sequence of model-to-model transformations ending
+in model-to-text.  The chain here mirrors Gaspard2's OpenCL chain: each
+:class:`ModelPass` refines a :class:`GaspardContext` (the "model" being
+transformed), and the chain records a trace of what every pass added — the
+MDE equivalent of compiler pass logging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import TransformError
+from repro.arrayol.marte import Allocation
+from repro.arrayol.model import ApplicationModel
+from repro.ir.kernel import Kernel
+from repro.ir.program import DeviceProgram, Op
+
+__all__ = ["GaspardContext", "ModelPass", "TransformationChain"]
+
+
+@dataclass
+class GaspardContext:
+    """The artefact flowing through the chain."""
+
+    model: ApplicationModel
+    allocation: Allocation
+    schedule: list[str] = field(default_factory=list)
+    buffers: dict[tuple[str, str], str] = field(default_factory=dict)
+    buffer_shapes: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    buffer_dtypes: dict[str, str] = field(default_factory=dict)
+    ndranges: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    kernels: dict[str, Kernel] = field(default_factory=dict)
+    ops: list[Op] = field(default_factory=list)
+    program: DeviceProgram | None = None
+    sources: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ModelPass:
+    """One transformation step."""
+
+    name: str
+    apply: Callable[[GaspardContext], None]
+    description: str = ""
+
+
+class TransformationChain:
+    """An ordered list of passes with an execution trace."""
+
+    def __init__(self, passes: tuple[ModelPass, ...]):
+        self.passes = tuple(passes)
+        self.trace: list[str] = []
+
+    def run(self, ctx: GaspardContext) -> GaspardContext:
+        self.trace.clear()
+        for p in self.passes:
+            try:
+                p.apply(ctx)
+            except TransformError:
+                raise
+            except Exception as err:  # noqa: BLE001 - annotate pass name
+                raise TransformError(f"pass failed: {err}", p.name) from err
+            self.trace.append(self._summarise(p, ctx))
+        if ctx.program is None:
+            raise TransformError("chain finished without emitting a program")
+        return ctx
+
+    @staticmethod
+    def _summarise(p: ModelPass, ctx: GaspardContext) -> str:
+        return (
+            f"{p.name}: schedule={len(ctx.schedule)} buffers={len(ctx.buffer_shapes)} "
+            f"kernels={len(ctx.kernels)} ops={len(ctx.ops)}"
+        )

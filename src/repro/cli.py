@@ -1,0 +1,206 @@
+"""Command-line driver: ``python -m repro`` / ``repro``.
+
+Subcommands::
+
+    repro compile-sac FILE --entry F [--target cuda|seq] [--emit]
+    repro gaspard [--size hd|cif] [--emit]
+    repro experiment {table1,table2,figure9,figure12,claims,all}
+                     [--frames N] [--size hd|cif]
+    repro downscale [--size hd|cif] [--variant nongeneric|generic]
+                    [--route sac|gaspard]
+    repro overlap [--size hd|cif] [--frames N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _size(name: str):
+    from repro.apps.downscaler.config import CIF, HD
+
+    return {"hd": HD, "cif": CIF}[name]
+
+
+def _cmd_compile_sac(args) -> int:
+    from repro.sac.backend import CompileOptions, compile_function
+    from repro.sac.parser import parse
+
+    with open(args.file, encoding="utf-8") as fh:
+        source = fh.read()
+    prog = parse(source, filename=args.file)
+    cf = compile_function(
+        prog, args.entry, CompileOptions(target=args.target)
+    )
+    print(f"compiled {args.entry!r} for target {args.target}")
+    print(f"  kernels: {cf.kernel_count}")
+    print(f"  host steps: {cf.host_step_count}")
+    for name, reason in cf.rejected:
+        print(f"  kept on host: {name}: {reason}")
+    for k in cf.program.kernels:
+        print(
+            f"  kernel {k.name}: space {k.space.lower}..{k.space.upper} "
+            f"step {k.space.step} ({k.provenance})"
+        )
+    if args.emit and args.target == "cuda":
+        print()
+        print(cf.program.source("kernels.cu"))
+    return 0
+
+
+def _cmd_gaspard(args) -> int:
+    from repro.apps.downscaler.arrayol_model import (
+        downscaler_allocation,
+        downscaler_model,
+    )
+    from repro.arrayol.transform import GaspardContext, standard_chain
+
+    ctx = GaspardContext(
+        model=downscaler_model(_size(args.size)), allocation=downscaler_allocation()
+    )
+    chain = standard_chain()
+    ctx = chain.run(ctx)
+    print("transformation chain trace:")
+    for line in chain.trace:
+        print("  " + line)
+    print(f"kernels: {[k.name for k in ctx.program.kernels]}")
+    if args.emit:
+        print()
+        print(ctx.program.source("kernels.cl"))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.apps.downscaler import DownscalerLab
+    from repro.report import (
+        PAPER_TABLE1,
+        PAPER_TABLE2,
+        render_comparison,
+        render_figure9,
+        render_figure12,
+        render_operation_table,
+    )
+
+    lab = DownscalerLab(size=_size(args.size), frames=args.frames)
+    which = args.which
+
+    if which in ("table1", "all"):
+        t = lab.table1()
+        print(render_operation_table(t))
+        print()
+        print(render_comparison(t, PAPER_TABLE1, frames=args.frames))
+        print()
+    if which in ("table2", "all"):
+        t = lab.table2()
+        print(render_operation_table(t))
+        print()
+        print(render_comparison(t, PAPER_TABLE2, frames=args.frames))
+        print()
+    if which in ("figure9", "all"):
+        print(render_figure9(lab.figure9()))
+    if which in ("figure12", "all"):
+        print(render_figure12(lab.figure12()))
+    if which in ("claims", "all"):
+        print("headline claims (paper: 4.5x / 3x generic slowdown, up to 11x")
+        print("GPU speedup, ~50% transfer share, routes within 85%):")
+        for k, v in lab.headline_claims().items():
+            print(f"  {k:34s} {v:8.2f}")
+    return 0
+
+
+def _cmd_downscale(args) -> int:
+    from repro.apps.downscaler import DownscalerLab
+    from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC
+
+    lab = DownscalerLab(size=_size(args.size), frames=1)
+    if args.route == "gaspard":
+        ctx, ex, runs = lab.run_gaspard()
+        res = runs[0]
+    else:
+        variant = NONGENERIC if args.variant == "nongeneric" else GENERIC
+        cf, ex, runs = lab.run_sac(variant, "cuda")
+        res = runs[0]
+    print(f"program: {res.program}")
+    print(f"  kernels:   {res.kernel_us:10.1f} us")
+    print(f"  h2d:       {res.h2d_us:10.1f} us")
+    print(f"  d2h:       {res.d2h_us:10.1f} us")
+    print(f"  host:      {res.host_us:10.1f} us")
+    print(f"  total:     {res.total_us:10.1f} us")
+    for name, arr in res.outputs.items():
+        arr = np.asarray(arr)
+        print(f"  output {name}: shape {arr.shape} checksum {int(arr.sum())}")
+    return 0
+
+
+def _cmd_overlap(args) -> int:
+    from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC, downscaler_program_source
+    from repro.apps.downscaler.video import synthetic_frame
+    from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED, overlapped_makespan
+    from repro.report import render_gantt
+    from repro.sac.backend import CompileOptions, compile_function
+    from repro.sac.parser import parse
+
+    size = _size(args.size)
+    frame = synthetic_frame(size, 0)[..., 0]
+    for variant in (NONGENERIC, GENERIC):
+        program = parse(downscaler_program_source(size, variant))
+        compiled = compile_function(program, "downscale", CompileOptions(target="cuda"))
+        ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+        ex.run(compiled.program, {"frame": frame})
+        result = overlapped_makespan(compiled.program, ex, frames=args.frames)
+        print(f"=== {variant} variant, {args.frames} frames ===")
+        print(render_gantt(result))
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SaC/ArrayOL GPU-compilation reproduction (HIPS 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile-sac", help="compile a SaC source file")
+    p.add_argument("file")
+    p.add_argument("--entry", required=True)
+    p.add_argument("--target", choices=("cuda", "seq"), default="cuda")
+    p.add_argument("--emit", action="store_true", help="print generated CUDA")
+    p.set_defaults(fn=_cmd_compile_sac)
+
+    p = sub.add_parser("gaspard", help="run the Gaspard2 OpenCL chain")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument("--emit", action="store_true", help="print generated OpenCL")
+    p.set_defaults(fn=_cmd_gaspard)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artefact")
+    p.add_argument(
+        "which",
+        choices=("table1", "table2", "figure9", "figure12", "claims", "all"),
+    )
+    p.add_argument("--frames", type=int, default=300)
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("overlap", help="stream-pipelining what-if experiment")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument("--frames", type=int, default=12)
+    p.set_defaults(fn=_cmd_overlap)
+
+    p = sub.add_parser("downscale", help="downscale one synthetic frame")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument("--variant", choices=("nongeneric", "generic"), default="nongeneric")
+    p.add_argument("--route", choices=("sac", "gaspard"), default="sac")
+    p.set_defaults(fn=_cmd_downscale)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Sequential host execution substrate (the SAC-Seq route of Figure 9)."""
+
+from repro.cpu.executor import CPUExecutor, SeqRunResult
+
+__all__ = ["CPUExecutor", "SeqRunResult"]

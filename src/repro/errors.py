@@ -1,0 +1,99 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch library failures without also swallowing programming errors.  Frontend
+errors carry source locations; model errors carry the offending model element
+names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro library."""
+
+
+class TilerError(ReproError):
+    """Invalid tiler specification or tiler application."""
+
+
+class IRError(ReproError):
+    """Malformed kernel IR or device program."""
+
+
+class DeviceError(ReproError):
+    """Simulated-device failures: OOM, bad handles, invalid launches."""
+
+
+class AllocationError(DeviceError):
+    """Device memory exhausted or double free."""
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a SaC source file (1-based line/column)."""
+
+    line: int
+    column: int
+    filename: str = "<string>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class SacError(ReproError):
+    """Base class for SaC frontend errors, optionally with a location."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class SacSyntaxError(SacError):
+    """Lexer or parser rejection."""
+
+
+class SacTypeError(SacError):
+    """Shape/type inference failure."""
+
+
+class SacSemanticError(SacError):
+    """Violation of SaC static semantics (e.g. single assignment)."""
+
+
+class SacRuntimeError(SacError):
+    """Interpreter failure (bad index, shape mismatch at runtime)."""
+
+
+class OptimisationError(ReproError):
+    """An optimisation pass produced or detected an inconsistent program."""
+
+
+class BackendError(ReproError):
+    """Code generation failure (CUDA or OpenCL backend)."""
+
+
+class ArrayOLError(ReproError):
+    """Base class for ArrayOL model errors."""
+
+    def __init__(self, message: str, element: str | None = None):
+        self.element = element
+        if element is not None:
+            message = f"{element}: {message}"
+        super().__init__(message)
+
+
+class ModelValidationError(ArrayOLError):
+    """The ArrayOL model violates a metamodel or GILR constraint."""
+
+
+class SchedulingError(ArrayOLError):
+    """No valid schedule exists (cyclic dependences)."""
+
+
+class TransformError(ArrayOLError):
+    """A model transformation pass failed."""

@@ -1,0 +1,69 @@
+"""Simulated device and host specifications.
+
+The defaults model the paper's test system (Section VIII): an Nvidia Fermi
+GTX480 (15 SMs x 32 cores at 1.4 GHz, 1.5 GB device memory, PCIe x16 Gen2)
+driven by an Intel i7-930 quad core at 2.8 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "HostSpec", "GTX480", "I7_930"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated GPU."""
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    memory_bytes: int
+    warp_size: int = 32
+    transaction_bytes: int = 128  # Fermi L1/L2 cache-line transactions
+    max_threads_per_block: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("device must have positive SM/core counts")
+        if self.clock_ghz <= 0:
+            raise ValueError("device clock must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("device memory must be positive")
+
+    @property
+    def core_count(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_gops(self) -> float:
+        """Peak scalar operations per second (one op/core/cycle), in Gop/s."""
+        return self.core_count * self.clock_ghz
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Parameters of the simulated host CPU."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.clock_ghz <= 0:
+            raise ValueError("host must have positive cores and clock")
+
+
+#: The paper's GPU: Nvidia Fermi GTX480.
+GTX480 = DeviceSpec(
+    name="GTX480",
+    sm_count=15,
+    cores_per_sm=32,
+    clock_ghz=1.4,
+    memory_bytes=1536 * 1024 * 1024,
+)
+
+#: The paper's CPU: Intel i7-930.
+I7_930 = HostSpec(name="i7-930", cores=4, clock_ghz=2.8)

@@ -1,0 +1,220 @@
+"""Execution of device programs on the simulated GPU.
+
+The executor walks a :class:`~repro.ir.program.DeviceProgram` and, per op:
+
+* performs the **functional** effect (allocations in the
+  :class:`~repro.gpu.memory.MemoryManager`, data copies, vectorised kernel
+  evaluation, host compute steps), and
+* charges the **modelled** duration from the :class:`~repro.gpu.cost.CostModel`,
+  recording one profiler event per op — the raw material of the paper's
+  Tables I/II.
+
+Per-kernel cost inputs (access-stride probe + unique-byte measurement) are
+cached by kernel value, so repeated runs of the same program (the 300-frame
+experiments) only pay for them once.  ``functional=False`` replays a program
+for its timing alone, skipping data movement and kernel evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpu.cost import CostModel, KernelCostBreakdown
+from repro.gpu.device import GTX480, DeviceSpec
+from repro.gpu.memory import MemoryManager
+from repro.gpu.profiler import Profiler
+from repro.ir.evalvec import evaluate_kernel
+from repro.ir.kernel import Kernel
+from repro.ir.metrics import AccessProfile, probe_access_profile, unique_access_bytes
+from repro.ir.program import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    LaunchKernel,
+)
+
+__all__ = ["RunResult", "GPUExecutor"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one program execution."""
+
+    program: str
+    total_us: float
+    outputs: dict[str, np.ndarray] = field(compare=False)
+    kernel_us: float = 0.0
+    h2d_us: float = 0.0
+    d2h_us: float = 0.0
+    host_us: float = 0.0
+
+    @property
+    def gpu_us(self) -> float:
+        """Device-side time (kernels + transfers), the tables' denominator."""
+        return self.kernel_us + self.h2d_us + self.d2h_us
+
+
+@dataclass(frozen=True)
+class _KernelCostInputs:
+    profile: AccessProfile
+    unique_read_bytes: int
+    unique_write_bytes: int
+    itemsize: int
+
+
+#: process-wide cache of per-kernel probe results — kernels are immutable
+#: value objects, so measurements are shared across executors
+_GLOBAL_KERNEL_CACHE: dict[Kernel, "_KernelCostInputs"] = {}
+
+
+class GPUExecutor:
+    """Runs device programs functionally while accruing modelled time."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        device: DeviceSpec = GTX480,
+        profiler: Profiler | None = None,
+    ):
+        self.cost = cost_model
+        self.device = device
+        self.memory = MemoryManager(device)
+        self.profiler = profiler if profiler is not None else Profiler()
+        self._kernel_cache: dict[Kernel, _KernelCostInputs] = _GLOBAL_KERNEL_CACHE
+
+    # -- kernel cost inputs -----------------------------------------------------
+
+    def kernel_cost_inputs(self, kernel: Kernel) -> _KernelCostInputs:
+        cached = self._kernel_cache.get(kernel)
+        if cached is None:
+            profile = probe_access_profile(kernel)
+            ur, uw = unique_access_bytes(kernel)
+            itemsizes = {np.dtype(a.dtype).itemsize for a in kernel.arrays} or {4}
+            cached = _KernelCostInputs(
+                profile=profile,
+                unique_read_bytes=ur,
+                unique_write_bytes=uw,
+                itemsize=max(itemsizes),
+            )
+            self._kernel_cache[kernel] = cached
+        return cached
+
+    def kernel_breakdown(self, kernel: Kernel) -> KernelCostBreakdown:
+        """Cost decomposition of one launch (for reports/ablations)."""
+        ci = self.kernel_cost_inputs(kernel)
+        return self.cost.kernel_cost(
+            kernel, ci.profile, ci.unique_read_bytes, ci.unique_write_bytes, ci.itemsize
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        program: DeviceProgram,
+        host_env: dict[str, np.ndarray] | None = None,
+        functional: bool = True,
+    ) -> RunResult:
+        """Execute ``program`` against ``host_env``.
+
+        ``host_env`` must bind every name in ``program.host_inputs``; the
+        result's ``outputs`` contains every name in ``program.host_outputs``.
+        With ``functional=False`` only time is accrued (allocations are
+        still tracked so leaks/OOM remain visible).
+        """
+        env: dict[str, np.ndarray] = dict(host_env or {})
+        if functional:
+            missing = [n for n in program.host_inputs if n not in env]
+            if missing:
+                raise DeviceError(
+                    f"program {program.name!r}: missing host inputs {missing}"
+                )
+        kernel_us = h2d_us = d2h_us = host_us = 0.0
+
+        for op in program.ops:
+            if isinstance(op, AllocDevice):
+                self.memory.alloc(op.buffer, op.shape, op.dtype)
+            elif isinstance(op, FreeDevice):
+                self.memory.free(op.buffer)
+            elif isinstance(op, HostToDevice):
+                buf = self.memory.get(op.device)
+                if functional:
+                    src = env[op.host]
+                    if src.shape != buf.shape:
+                        raise DeviceError(
+                            f"H2D {op.host}->{op.device}: host shape {src.shape} "
+                            f"!= device shape {buf.shape}"
+                        )
+                    buf.data[...] = src
+                dur = self.cost.h2d_time_us(buf.nbytes)
+                h2d_us += dur
+                name = "memcpyHtoDasync" if op.is_async else "memcpyHtoD"
+                self.profiler.record(name, "h2d", dur, buf.nbytes)
+            elif isinstance(op, DeviceToHost):
+                buf = self.memory.get(op.device)
+                if functional:
+                    env[op.host] = buf.data.copy()
+                dur = self.cost.d2h_time_us(buf.nbytes)
+                d2h_us += dur
+                name = "memcpyDtoHasync" if op.is_async else "memcpyDtoH"
+                self.profiler.record(name, "d2h", dur, buf.nbytes)
+            elif isinstance(op, LaunchKernel):
+                arrays = {}
+                for param_name, buffer in op.array_args:
+                    arrays[param_name] = self.memory.get(buffer).data
+                if functional:
+                    evaluate_kernel(op.kernel, arrays, dict(op.scalar_args))
+                dur = self.kernel_breakdown(op.kernel).total_us
+                kernel_us += dur
+                self.profiler.record(op.kernel.name, "kernel", dur)
+            elif isinstance(op, HostCompute):
+                if functional:
+                    op.fn(env)
+                dur = self.cost.host_work_time_us(op.work)
+                host_us += dur
+                self.profiler.record(op.name, "host", dur)
+            else:
+                raise DeviceError(f"executor cannot handle op {op!r}")
+
+        outputs = {}
+        if functional:
+            missing_out = [n for n in program.host_outputs if n not in env]
+            if missing_out:
+                raise DeviceError(
+                    f"program {program.name!r} finished without producing "
+                    f"outputs {missing_out}"
+                )
+            outputs = {n: env[n] for n in program.host_outputs}
+        return RunResult(
+            program=program.name,
+            total_us=kernel_us + h2d_us + d2h_us + host_us,
+            outputs=outputs,
+            kernel_us=kernel_us,
+            h2d_us=h2d_us,
+            d2h_us=d2h_us,
+            host_us=host_us,
+        )
+
+    def run_repeated(
+        self,
+        program: DeviceProgram,
+        host_envs,
+        only_first_functional: bool = True,
+    ) -> list[RunResult]:
+        """Run ``program`` once per host environment.
+
+        With ``only_first_functional`` (the default) the first run executes
+        functionally (validating results) and the rest replay timing only —
+        the mode the 300-frame experiments use after the outputs are
+        verified once.  Pass ``False`` to execute every run functionally.
+        """
+        results = []
+        for i, env in enumerate(host_envs):
+            functional = (i == 0) or not only_first_functional
+            results.append(self.run(program, env, functional=functional))
+        return results

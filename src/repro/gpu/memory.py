@@ -1,0 +1,124 @@
+"""Simulated device memory manager.
+
+Backs each device buffer with a host NumPy array while enforcing the device
+capacity (the GTX480's 1.5 GB), detecting leaks, double frees and dangling
+handles — the failure modes a real CUDA allocator surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AllocationError
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["DeviceBuffer", "MemoryManager"]
+
+
+@dataclass
+class DeviceBuffer:
+    """A live device allocation."""
+
+    name: str
+    data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+
+class MemoryManager:
+    """Tracks device allocations against a device's capacity."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self._buffers: dict[str, DeviceBuffer] = {}
+        self._bytes_in_use = 0
+        self._peak_bytes = 0
+        self._alloc_count = 0
+        self._free_count = 0
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, name: str, shape: tuple[int, ...], dtype: str = "int32") -> DeviceBuffer:
+        if name in self._buffers:
+            raise AllocationError(f"device buffer {name!r} already allocated")
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if self._bytes_in_use + nbytes > self.device.memory_bytes:
+            raise AllocationError(
+                f"device out of memory allocating {name!r}: need {nbytes} bytes, "
+                f"{self.available_bytes} available of {self.device.memory_bytes}"
+            )
+        buf = DeviceBuffer(name=name, data=np.zeros(shape, dtype=dtype))
+        self._buffers[name] = buf
+        self._bytes_in_use += nbytes
+        self._peak_bytes = max(self._peak_bytes, self._bytes_in_use)
+        self._alloc_count += 1
+        return buf
+
+    def free(self, name: str) -> None:
+        try:
+            buf = self._buffers.pop(name)
+        except KeyError:
+            raise AllocationError(
+                f"free of unknown or already-freed device buffer {name!r}"
+            ) from None
+        self._bytes_in_use -= buf.nbytes
+        self._free_count += 1
+
+    def get(self, name: str) -> DeviceBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise AllocationError(f"device buffer {name!r} is not allocated") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def reset(self) -> None:
+        """Free everything (device reset)."""
+        self._buffers.clear()
+        self._bytes_in_use = 0
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._bytes_in_use
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak_bytes
+
+    @property
+    def available_bytes(self) -> int:
+        return self.device.memory_bytes - self._bytes_in_use
+
+    @property
+    def live_buffers(self) -> tuple[str, ...]:
+        return tuple(self._buffers)
+
+    @property
+    def alloc_count(self) -> int:
+        return self._alloc_count
+
+    @property
+    def free_count(self) -> int:
+        return self._free_count
+
+    def assert_no_leaks(self) -> None:
+        """Raise when allocations remain live (end-of-program check)."""
+        if self._buffers:
+            raise AllocationError(
+                f"device memory leak: live buffers {sorted(self._buffers)}"
+            )

@@ -1,0 +1,102 @@
+"""Execution profiler in the style of ``cudaprof``.
+
+Collects one event per simulated operation and aggregates them into the
+``(operation, #calls, GPU time us, GPU time %)`` rows the paper's Tables I
+and II report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProfileEvent", "ProfileRow", "Profiler"]
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    """One simulated operation instance."""
+
+    operation: str  # e.g. kernel name, "memcpyHtoDasync", "host"
+    category: str  # "kernel" | "h2d" | "d2h" | "host"
+    duration_us: float
+    bytes: int = 0
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """An aggregated table row."""
+
+    operation: str
+    calls: int
+    gpu_time_us: float
+    gpu_time_pct: float
+
+
+@dataclass
+class Profiler:
+    """Accumulates events; supports the grouped aggregation of the tables."""
+
+    events: list[ProfileEvent] = field(default_factory=list)
+
+    def record(
+        self, operation: str, category: str, duration_us: float, bytes: int = 0
+    ) -> None:
+        if duration_us < 0:
+            raise ValueError("event duration must be non-negative")
+        self.events.append(ProfileEvent(operation, category, duration_us, bytes))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- aggregations ---------------------------------------------------------
+
+    @property
+    def total_us(self) -> float:
+        return sum(e.duration_us for e in self.events)
+
+    def total_by_category(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.category] = out.get(e.category, 0.0) + e.duration_us
+        return out
+
+    def calls_by_category(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.category] = out.get(e.category, 0) + 1
+        return out
+
+    def rows(self, grouping: dict[str, str] | None = None) -> list[ProfileRow]:
+        """Aggregate events into table rows.
+
+        ``grouping`` maps an event operation name to a row label (e.g. all
+        five horizontal-filter kernels to ``"H. Filter (5 kernels)"``);
+        unmapped operations keep their own name.  Percentages are of the
+        grand total, as in the paper's tables.
+        """
+        grouping = grouping or {}
+        calls: dict[str, int] = {}
+        times: dict[str, float] = {}
+        order: list[str] = []
+        for e in self.events:
+            label = grouping.get(e.operation, e.operation)
+            if label not in times:
+                order.append(label)
+            calls[label] = calls.get(label, 0) + 1
+            times[label] = times.get(label, 0.0) + e.duration_us
+        total = sum(times.values())
+        return [
+            ProfileRow(
+                operation=label,
+                calls=calls[label],
+                gpu_time_us=times[label],
+                gpu_time_pct=(100.0 * times[label] / total) if total else 0.0,
+            )
+            for label in order
+        ]
+
+    def calls_of(self, operation: str) -> int:
+        return sum(1 for e in self.events if e.operation == operation)
+
+    def time_of(self, operation: str) -> float:
+        return sum(e.duration_us for e in self.events if e.operation == operation)

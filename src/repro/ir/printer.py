@@ -1,0 +1,174 @@
+"""C-family source emission for kernel bodies.
+
+Both code generators (CUDA in :mod:`repro.sac.backend.cudagen`, OpenCL in
+:mod:`repro.arrayol.backend.openclgen`) print kernel bodies through this
+module; only the kernel signature, qualifiers and thread-index derivation
+differ per dialect and live in the backends.
+
+Arrays are emitted with flattened row-major addressing, matching the
+generated code shown in the paper's Figure 11
+(``in[index0 * 1920 + index1 * 1]``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    LocalRef,
+    ParamRef,
+    Read,
+    Select,
+    ThreadIdx,
+    UnOp,
+)
+from repro.ir.kernel import Kernel
+from repro.ir.stmt import Assign, For, Store
+
+__all__ = ["CSourcePrinter", "c_dtype"]
+
+_DTYPE_TO_C = {
+    "int32": "int",
+    "int64": "long long",
+    "float32": "float",
+    "float64": "double",
+    "uint32": "unsigned int",
+}
+
+# precedence: higher binds tighter
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def c_dtype(dtype: str) -> str:
+    """Map an IR dtype name to its C type."""
+    try:
+        return _DTYPE_TO_C[dtype]
+    except KeyError:
+        raise IRError(f"no C mapping for dtype {dtype!r}") from None
+
+
+class CSourcePrinter:
+    """Prints kernel bodies as C code.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel whose body is printed (provides array shapes for the
+        flattened addressing).
+    index_var:
+        Naming scheme for the logical index: ``ThreadIdx(d)`` prints as
+        ``f"{index_var}{d}"``; the backend must declare those variables.
+    """
+
+    def __init__(self, kernel: Kernel, index_var: str = "iv"):
+        self.kernel = kernel
+        self.index_var = index_var
+        self._shapes = {a.name: a.shape for a in kernel.arrays}
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, e: Expr, parent_prec: int = 0) -> str:
+        if isinstance(e, Const):
+            if isinstance(e.value, float):
+                return repr(float(e.value))
+            return str(int(e.value))
+        if isinstance(e, ThreadIdx):
+            return f"{self.index_var}{e.dim}"
+        if isinstance(e, LocalRef):
+            return e.name
+        if isinstance(e, ParamRef):
+            return e.name
+        if isinstance(e, Read):
+            return f"{e.array}[{self.linear_index(e.array, e.index)}]"
+        if isinstance(e, UnOp):
+            op = {"-": "-", "abs": "abs", "!": "!"}[e.op]
+            if e.op == "abs":
+                return f"abs({self.expr(e.operand)})"
+            return f"{op}({self.expr(e.operand)})"
+        if isinstance(e, Select):
+            return (
+                f"(({self.expr(e.cond)}) ? ({self.expr(e.if_true)}) : "
+                f"({self.expr(e.if_false)}))"
+            )
+        if isinstance(e, BinOp):
+            if e.op in ("min", "max"):
+                return f"{e.op}({self.expr(e.lhs)}, {self.expr(e.rhs)})"
+            prec = _PRECEDENCE[e.op]
+            lhs = self.expr(e.lhs, prec)
+            rhs = self.expr(e.rhs, prec + 1)  # left associative
+            text = f"{lhs} {e.op} {rhs}"
+            if prec < parent_prec:
+                return f"({text})"
+            return text
+        raise IRError(f"cannot print expression {e!r}")
+
+    def linear_index(self, array: str, index: tuple[Expr, ...]) -> str:
+        """Row-major flattened index expression for ``array[index]``."""
+        try:
+            shape = self._shapes[array]
+        except KeyError:
+            raise IRError(f"printer: unknown array {array!r}") from None
+        if len(index) != len(shape):
+            raise IRError(
+                f"printer: index rank {len(index)} != rank of {array!r} ({len(shape)})"
+            )
+        stride = 1
+        strides = [1] * len(shape)
+        for d in range(len(shape) - 2, -1, -1):
+            stride *= shape[d + 1]
+            strides[d] = stride
+        parts = []
+        for e, s in zip(index, strides):
+            part = self.expr(e, _PRECEDENCE["*"])
+            if s == 1:
+                parts.append(part)
+            else:
+                parts.append(f"({part}) * {s}")
+        return " + ".join(parts)
+
+    # -- statements ----------------------------------------------------------
+
+    def stmts(self, statements, indent: int = 1) -> str:
+        """Print a statement sequence, one line per simple statement."""
+        lines: list[str] = []
+        self._emit(statements, indent, lines, declared=set())
+        return "\n".join(lines)
+
+    def _emit(self, statements, indent, lines, declared):
+        pad = "    " * indent
+        for s in statements:
+            if isinstance(s, Assign):
+                if s.name in declared:
+                    lines.append(f"{pad}{s.name} = {self.expr(s.value)};")
+                else:
+                    declared.add(s.name)
+                    lines.append(f"{pad}int {s.name} = {self.expr(s.value)};")
+            elif isinstance(s, For):
+                declared.add(s.var)
+                lines.append(
+                    f"{pad}for (int {s.var} = {s.start}; {s.var} < {s.stop}; "
+                    f"{s.var}++) {{"
+                )
+                self._emit(s.body, indent + 1, lines, declared)
+                lines.append(f"{pad}}}")
+            elif isinstance(s, Store):
+                target = f"{s.array}[{self.linear_index(s.array, s.index)}]"
+                lines.append(f"{pad}{target} = {self.expr(s.value)};")
+            else:
+                raise IRError(f"cannot print statement {s!r}")

@@ -1,0 +1,102 @@
+"""Statement IR for GPU kernels.
+
+A kernel body is a sequence of statements executed once per work-item:
+
+* :class:`Assign` binds a kernel-local scalar;
+* :class:`For` is a counted loop with *static* bounds (the only loop form
+  GPU kernels in this system need — e.g. the tiler pattern-filling loop of
+  the paper's Figure 11).  The vectorised evaluator unrolls it;
+* :class:`Store` writes one element of an output array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.ir.expr import Expr, walk
+
+__all__ = ["Stmt", "Assign", "For", "Store", "walk_stmts", "expressions_of"]
+
+
+class Stmt:
+    """Base class of all IR statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Bind local variable ``name`` to the value of ``value``."""
+
+    name: str
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, Expr):
+            raise IRError(f"Assign value must be an Expr, got {self.value!r}")
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """Counted loop ``for (var = start; var < stop; var += 1) body``.
+
+    Bounds are compile-time constants; the loop variable is visible in the
+    body as a :class:`~repro.ir.expr.LocalRef`.
+    """
+
+    var: str
+    start: int
+    stop: int
+    body: tuple[Stmt, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if not isinstance(self.start, int) or not isinstance(self.stop, int):
+            raise IRError("For bounds must be compile-time integers")
+        if self.stop < self.start:
+            raise IRError(f"For has negative trip count: [{self.start}, {self.stop})")
+        for s in self.body:
+            if not isinstance(s, Stmt):
+                raise IRError(f"For body element must be a Stmt, got {s!r}")
+
+    @property
+    def trip_count(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """Write ``value`` to ``array[index]``."""
+
+    array: str
+    index: tuple[Expr, ...]
+    value: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "index", tuple(self.index))
+        for e in self.index:
+            if not isinstance(e, Expr):
+                raise IRError(f"Store index component must be an Expr, got {e!r}")
+        if not isinstance(self.value, Expr):
+            raise IRError(f"Store value must be an Expr, got {self.value!r}")
+
+
+def walk_stmts(stmts):
+    """Yield every statement, depth first, including loop bodies."""
+    for s in stmts:
+        yield s
+        if isinstance(s, For):
+            yield from walk_stmts(s.body)
+
+
+def expressions_of(stmts):
+    """Yield every expression appearing in ``stmts`` (including loop bodies),
+    each expanded to all of its sub-expressions."""
+    for s in walk_stmts(stmts):
+        if isinstance(s, Assign):
+            yield from walk(s.value)
+        elif isinstance(s, Store):
+            for e in s.index:
+                yield from walk(e)
+            yield from walk(s.value)

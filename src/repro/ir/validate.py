@@ -1,0 +1,171 @@
+"""Static validation of kernels and device programs.
+
+The backends run these checks on everything they emit; the test suite also
+uses them as invariants for property-based testing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.kernel import Kernel
+from repro.ir.program import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    LaunchKernel,
+)
+from repro.ir.stmt import Store, walk_stmts
+
+__all__ = ["validate_kernel", "validate_program"]
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`IRError` when ``kernel`` is structurally invalid."""
+    free = kernel.free_locals()
+    if free:
+        raise IRError(f"kernel {kernel.name!r}: locals used before binding: {sorted(free)}")
+
+    declared_arrays = {a.name: a for a in kernel.arrays}
+    declared_scalars = {s.name for s in kernel.scalars}
+
+    used = kernel.referenced_arrays()
+    unknown = used - set(declared_arrays)
+    if unknown:
+        raise IRError(
+            f"kernel {kernel.name!r}: undeclared arrays referenced: {sorted(unknown)}"
+        )
+    unknown_scalars = kernel.referenced_scalars() - declared_scalars
+    if unknown_scalars:
+        raise IRError(
+            f"kernel {kernel.name!r}: undeclared scalars referenced: "
+            f"{sorted(unknown_scalars)}"
+        )
+
+    max_dim = kernel.max_thread_dim()
+    if max_dim >= kernel.space.rank:
+        raise IRError(
+            f"kernel {kernel.name!r}: ThreadIdx({max_dim}) exceeds index space "
+            f"rank {kernel.space.rank}"
+        )
+
+    from repro.ir.expr import Read, walk
+
+    for s in walk_stmts(kernel.body):
+        if isinstance(s, Store):
+            param = declared_arrays.get(s.array)
+            if param is not None and param.intent == "in":
+                raise IRError(
+                    f"kernel {kernel.name!r}: store to read-only array {s.array!r}"
+                )
+            if param is not None and len(s.index) != len(param.shape):
+                raise IRError(
+                    f"kernel {kernel.name!r}: store to {s.array!r} with index rank "
+                    f"{len(s.index)}, array rank {len(param.shape)}"
+                )
+        from repro.ir.stmt import Assign
+
+        roots = []
+        if isinstance(s, Assign):
+            roots = [s.value]
+        elif isinstance(s, Store):
+            roots = list(s.index) + [s.value]
+        for root in roots:
+            for e in walk(root):
+                if isinstance(e, Read):
+                    param = declared_arrays.get(e.array)
+                    if param is not None and len(e.index) != len(param.shape):
+                        raise IRError(
+                            f"kernel {kernel.name!r}: read of {e.array!r} with index "
+                            f"rank {len(e.index)}, array rank {len(param.shape)}"
+                        )
+
+
+def validate_program(program: DeviceProgram) -> None:
+    """Raise :class:`IRError` when ``program`` is inconsistent.
+
+    Checks performed:
+
+    * every device buffer is allocated before use and not used after free;
+    * no double allocation / double free;
+    * kernel launches bind parameters to live buffers of matching
+      shape/dtype;
+    * transfers reference live device buffers;
+    * host arrays consumed by transfers or host steps are program inputs or
+      were produced earlier;
+    * every declared host output is actually produced.
+    """
+    live: dict[str, AllocDevice] = {}
+    freed: set[str] = set()
+    host_defined: set[str] = set(program.host_inputs)
+
+    def require_live(buffer: str, what: str) -> AllocDevice:
+        if buffer in live:
+            return live[buffer]
+        if buffer in freed:
+            raise IRError(f"{what}: device buffer {buffer!r} used after free")
+        raise IRError(f"{what}: device buffer {buffer!r} is not allocated")
+
+    for op in program.ops:
+        if isinstance(op, AllocDevice):
+            if op.buffer in live:
+                raise IRError(f"double allocation of device buffer {op.buffer!r}")
+            freed.discard(op.buffer)
+            live[op.buffer] = op
+        elif isinstance(op, FreeDevice):
+            if op.buffer not in live:
+                raise IRError(f"free of unallocated device buffer {op.buffer!r}")
+            del live[op.buffer]
+            freed.add(op.buffer)
+        elif isinstance(op, HostToDevice):
+            require_live(op.device, f"H2D {op.host}->{op.device}")
+            if op.host not in host_defined:
+                raise IRError(
+                    f"H2D transfer reads undefined host array {op.host!r} "
+                    f"(not an input and not produced earlier)"
+                )
+        elif isinstance(op, DeviceToHost):
+            require_live(op.device, f"D2H {op.device}->{op.host}")
+            host_defined.add(op.host)
+        elif isinstance(op, LaunchKernel):
+            validate_kernel(op.kernel)
+            for param_name, buffer in op.array_args:
+                alloc = require_live(buffer, f"launch {op.kernel.name!r}")
+                param = op.kernel.array(param_name)
+                if tuple(alloc.shape) != tuple(param.shape):
+                    raise IRError(
+                        f"launch {op.kernel.name!r}: buffer {buffer!r} has shape "
+                        f"{alloc.shape}, parameter {param_name!r} declares {param.shape}"
+                    )
+                if np.dtype(alloc.dtype) != np.dtype(param.dtype):
+                    raise IRError(
+                        f"launch {op.kernel.name!r}: buffer {buffer!r} has dtype "
+                        f"{alloc.dtype}, parameter {param_name!r} declares {param.dtype}"
+                    )
+            scalar_names = {s.name for s in op.kernel.scalars}
+            bound = {name for name, _ in op.scalar_args}
+            if scalar_names - bound:
+                raise IRError(
+                    f"launch {op.kernel.name!r}: unbound scalars "
+                    f"{sorted(scalar_names - bound)}"
+                )
+        elif isinstance(op, HostCompute):
+            for name in op.reads:
+                if name not in host_defined:
+                    raise IRError(
+                        f"host step {op.name!r} reads undefined host array {name!r}"
+                    )
+            host_defined.update(op.writes)
+        else:
+            raise IRError(f"unknown op {op!r}")
+
+    missing_outputs = set(program.host_outputs) - host_defined
+    if missing_outputs:
+        raise IRError(
+            f"program {program.name!r} never produces declared outputs "
+            f"{sorted(missing_outputs)}"
+        )

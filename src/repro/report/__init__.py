@@ -1,0 +1,19 @@
+"""Regeneration of the paper's tables and figures as text artefacts."""
+
+from repro.report.figures import bar, render_figure9, render_figure12
+from repro.report.gantt import render_gantt
+from repro.report.format import format_pct, format_seconds, format_us, render_grid
+from repro.report.tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    compare_to_paper,
+    render_comparison,
+    render_operation_table,
+)
+
+__all__ = [
+    "render_grid", "format_us", "format_seconds", "format_pct",
+    "render_operation_table", "compare_to_paper", "render_comparison",
+    "PAPER_TABLE1", "PAPER_TABLE2",
+    "render_figure9", "render_figure12", "bar", "render_gantt",
+]

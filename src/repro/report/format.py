@@ -1,0 +1,37 @@
+"""Low-level text formatting shared by the table and figure renderers."""
+
+from __future__ import annotations
+
+__all__ = ["render_grid", "format_us", "format_seconds", "format_pct"]
+
+
+def format_us(us: float) -> str:
+    return f"{us:,.0f}".replace(",", " ")
+
+
+def format_seconds(us: float) -> str:
+    return f"{us / 1e6:.2f}sec"
+
+
+def format_pct(pct: float) -> str:
+    return f"{pct:.2f}"
+
+
+def render_grid(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned text table with a header rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells, pad=" "):
+        return " | ".join(c.ljust(w, pad) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        out.append(line(row))
+    return "\n".join(out)

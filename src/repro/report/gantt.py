@@ -1,0 +1,51 @@
+"""ASCII Gantt rendering of stream-overlap schedules."""
+
+from __future__ import annotations
+
+from repro.gpu.stream import OverlapResult
+
+__all__ = ["render_gantt"]
+
+_ENGINES = ("h2d", "compute", "d2h", "host")
+
+
+def render_gantt(result: OverlapResult, width: int = 72, engines=None) -> str:
+    """Render the schedule as one row per engine.
+
+    Each engine's busy intervals are drawn with ``#`` over a time axis of
+    ``width`` characters; idle time is ``.``.
+    """
+    engines = tuple(engines or _ENGINES)
+    span = result.overlapped_us
+    if span <= 0:
+        return "(empty schedule)"
+
+    from math import ceil, floor
+
+    def col_start(t: float) -> int:
+        return min(width - 1, floor(width * t / span))
+
+    def col_end(t: float) -> int:
+        return min(width, ceil(width * t / span))
+
+    lines = [
+        f"stream schedule: serial {result.serial_us:.0f} us -> "
+        f"pipelined {result.overlapped_us:.0f} us "
+        f"({result.speedup:.2f}x)",
+        "",
+    ]
+    for engine in engines:
+        ops = [s for s in result.schedule if s.engine == engine]
+        if not ops:
+            continue
+        row = ["."] * width
+        for s in ops:
+            a, b = col_start(s.start_us), col_end(s.end_us)
+            for i in range(a, max(a + 1, b)):
+                row[i] = "#"
+        busy = result.engine_busy_us(engine)
+        lines.append(
+            f"{engine:>8} |{''.join(row)}| {busy:9.0f} us busy"
+        )
+    lines.append(f"{'':>8}  0{'us'.rjust(width - 1)}")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Single Assignment C (SaC) subset: frontend, semantics, optimiser, backends.
+
+The route of the paper's Section VII: parse (``parser``), check
+(``semantics``/``typecheck``), interpret (``interp``) or optimise
+(``opt`` — inlining, partial evaluation, WITH-loop folding, DCE) and
+compile (``backend`` — CUDA kernels with transfer insertion, or the
+sequential host target).
+"""
+
+from repro.sac.interp import Interpreter
+from repro.sac.parser import parse, parse_expression
+from repro.sac.semantics import check_program
+from repro.sac.typecheck import typecheck_program
+
+__all__ = [
+    "parse",
+    "parse_expression",
+    "Interpreter",
+    "check_program",
+    "typecheck_program",
+]

@@ -1,0 +1,34 @@
+"""CUDA eligibility of WITH-loops (paper Section VII).
+
+The backend parallelises only the *outermost* WITH-loops that contain no
+user function invocations and whose launch geometry is static.  The
+mechanical checks live in :mod:`repro.sac.backend.lower` (anything outside
+the lowerable form raises :class:`LoweringError`); this module provides the
+query form used by the driver and tests, plus the reason a loop was
+rejected.
+"""
+
+from __future__ import annotations
+
+from repro.sac import ast
+from repro.sac.backend.lower import lower_withloop
+from repro.sac.backend.lowerexpr import LoweringError
+
+__all__ = ["is_cuda_eligible", "rejection_reason"]
+
+
+def rejection_reason(
+    wl: ast.WithLoop, result: str, shapes: dict[str, tuple[int, ...]]
+) -> str | None:
+    """None when the WITH-loop can become CUDA kernels, else the reason."""
+    try:
+        lower_withloop(wl, result, shapes)
+    except LoweringError as err:
+        return str(err)
+    return None
+
+
+def is_cuda_eligible(
+    wl: ast.WithLoop, result: str, shapes: dict[str, tuple[int, ...]]
+) -> bool:
+    return rejection_reason(wl, result, shapes) is None

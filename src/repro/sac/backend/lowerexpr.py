@@ -1,0 +1,186 @@
+"""Lowering of (optimised) SaC expressions and statements to kernel IR.
+
+Operates on the restricted form the optimisation pipeline produces for
+CUDA-eligible WITH-loop generators:
+
+* generator index variables are either destructured scalars or appear as
+  component selections ``iv[[k]]`` — both become :class:`ThreadIdx`;
+* array reads are ``arr[[e0, …, en]]`` selections with scalarised indices;
+* locals are scalar assignments; builtins are ``min``/``max``/``abs``.
+
+Anything outside the form raises :class:`LoweringError`, which the driver
+catches to keep that WITH-loop on the host (the paper's eligibility rule).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.ir import expr as ir
+from repro.ir import stmt as irs
+from repro.sac import ast
+
+__all__ = ["LoweringError", "LoweringContext", "lower_expr", "lower_stmts"]
+
+
+class LoweringError(BackendError):
+    """The construct cannot be expressed as per-work-item kernel code."""
+
+
+class LoweringContext:
+    """Name environment during lowering of one generator.
+
+    Parameters
+    ----------
+    index_vars:
+        Destructured generator variable names, in dimension order
+        (``("i", "j")`` maps ``i``/``j`` to ``ThreadIdx(0)``/``ThreadIdx(1)``).
+    vector_var:
+        Non-destructured generator variable name (``iv``); component
+        selections ``iv[[k]]`` lower to ``ThreadIdx(k)``.
+    arrays:
+        Names that refer to device arrays (reads become :class:`ir.Read`).
+    """
+
+    def __init__(
+        self,
+        index_vars: tuple[str, ...] = (),
+        vector_var: str | None = None,
+        arrays: frozenset[str] = frozenset(),
+    ):
+        self.index_vars = index_vars
+        self.vector_var = vector_var
+        self.arrays = set(arrays)
+        self.locals: set[str] = set()
+
+
+def lower_expr(e: ast.Expr, ctx: LoweringContext) -> ir.Expr:
+    if isinstance(e, ast.IntLit):
+        return ir.Const(e.value)
+    if isinstance(e, ast.FloatLit):
+        return ir.Const(e.value)
+    if isinstance(e, ast.BoolLit):
+        # booleans only appear in Select conditions; encode as 0/1
+        return ir.Const(1 if e.value else 0)
+    if isinstance(e, ast.Var):
+        if e.name in ctx.index_vars:
+            return ir.ThreadIdx(ctx.index_vars.index(e.name))
+        if e.name in ctx.locals:
+            return ir.LocalRef(e.name)
+        if e.name in ctx.arrays:
+            raise LoweringError(
+                f"whole-array value {e.name!r} used as a scalar"
+            )
+        raise LoweringError(f"unbound name {e.name!r} in kernel expression")
+    if isinstance(e, ast.IndexExpr):
+        return _lower_selection(e, ctx)
+    if isinstance(e, ast.BinExpr):
+        if e.op == "++":
+            raise LoweringError("vector concatenation survived scalarisation")
+        lhs = lower_expr(e.lhs, ctx)
+        rhs = lower_expr(e.rhs, ctx)
+        return ir.BinOp(e.op, lhs, rhs)
+    if isinstance(e, ast.UnExpr):
+        if e.op == "-":
+            return ir.UnOp("-", lower_expr(e.operand, ctx))
+        if e.op == "!":
+            return ir.UnOp("!", lower_expr(e.operand, ctx))
+        raise LoweringError(f"unary operator {e.op!r} not lowerable")
+    if isinstance(e, ast.Call):
+        if e.name in ("min", "max") and len(e.args) == 2:
+            return ir.BinOp(
+                e.name, lower_expr(e.args[0], ctx), lower_expr(e.args[1], ctx)
+            )
+        if e.name == "abs" and len(e.args) == 1:
+            return ir.UnOp("abs", lower_expr(e.args[0], ctx))
+        raise LoweringError(f"call to {e.name!r} inside a kernel body")
+    if isinstance(e, ast.WithLoop):
+        raise LoweringError("nested WITH-loop survived folding")
+    if isinstance(e, ast.ArrayLit):
+        raise LoweringError("vector value in scalar position")
+    raise LoweringError(f"cannot lower {type(e).__name__}")
+
+
+def _lower_selection(e: ast.IndexExpr, ctx: LoweringContext) -> ir.Expr:
+    # iv[[k]] or iv[k] — generator index component
+    if isinstance(e.array, ast.Var) and e.array.name == ctx.vector_var:
+        idx = e.index
+        if isinstance(idx, ast.ArrayLit) and len(idx.elements) == 1:
+            idx = idx.elements[0]
+        if isinstance(idx, ast.IntLit):
+            return ir.ThreadIdx(idx.value)
+    if isinstance(e.array, ast.Var) and e.array.name in ctx.arrays:
+        idx = e.index
+        if isinstance(idx, ast.ArrayLit):
+            comps = tuple(lower_expr(x, ctx) for x in idx.elements)
+        else:
+            # a scalar index expression selects along the first (only) axis
+            comps = (lower_expr(idx, ctx),)
+        return ir.Read(e.array.name, comps)
+    raise LoweringError(
+        f"unsupported selection target {type(e.array).__name__}"
+    )
+
+
+def lower_stmts(stmts, ctx: LoweringContext) -> tuple[irs.Stmt, ...]:
+    out: list[irs.Stmt] = []
+    for s in stmts:
+        if isinstance(s, ast.Assign):
+            if isinstance(s.value, ast.ArrayLit):
+                raise LoweringError(
+                    f"vector local {s.name!r} survived scalarisation"
+                )
+            out.append(irs.Assign(s.name, lower_expr(s.value, ctx)))
+            ctx.locals.add(s.name)
+        elif isinstance(s, ast.IfElse):
+            out.extend(_lower_ifelse(s, ctx))
+        else:
+            raise LoweringError(
+                f"statement {type(s).__name__} inside a kernel body"
+            )
+    return tuple(out)
+
+
+def _lower_ifelse(s: ast.IfElse, ctx: LoweringContext) -> list[irs.Stmt]:
+    """Predicate a branch into ``Select`` assignments (GPU if-conversion).
+
+    Supported shape: both branches are plain scalar assignments to the same
+    set of variables (possibly reading prior locals); each variable becomes
+    ``var = cond ? then_value : else_value``.
+    """
+    cond = lower_expr(s.cond, ctx)
+
+    def branch_bindings(stmts) -> dict[str, ir.Expr]:
+        bindings: dict[str, ir.Expr] = {}
+        for st in stmts:
+            if not isinstance(st, ast.Assign):
+                raise LoweringError(
+                    "only assignments are supported inside kernel conditionals"
+                )
+            if st.name in bindings:
+                raise LoweringError(
+                    f"conditional reassigns {st.name!r}; cannot if-convert"
+                )
+            bindings[st.name] = lower_expr(st.value, ctx)
+        return bindings
+
+    then_b = branch_bindings(s.then)
+    else_b = branch_bindings(s.orelse)
+    names = list(then_b)
+    if set(names) != set(else_b) and s.orelse:
+        raise LoweringError(
+            "conditional branches assign different variables; cannot if-convert"
+        )
+    out: list[irs.Stmt] = []
+    for name in names:
+        if name in else_b:
+            alt = else_b[name]
+        elif name in ctx.locals:
+            alt = ir.LocalRef(name)  # keep the previous value
+        else:
+            raise LoweringError(
+                f"conditional assigns {name!r} in one branch only and it has "
+                f"no prior value"
+            )
+        out.append(irs.Assign(name, ir.Select(cond, then_b[name], alt)))
+        ctx.locals.add(name)
+    return out

@@ -1,0 +1,151 @@
+"""Builtin (primitive) functions of the SaC subset.
+
+These are the operations the paper's programs use that the compiler treats
+as primitives rather than user code: ``shape``, ``dim``, ``MV``
+(matrix-vector product), ``CAT`` (concatenation, also spelled ``++``),
+element-wise ``min``/``max``/``abs`` and the ``sum``/``prod`` reductions.
+Primitives *may* appear inside CUDA-eligible WITH-loops (the backend lowers
+them), unlike user function calls (paper Section VII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SacRuntimeError
+from repro.sac.values import Value, is_scalar, to_python
+
+__all__ = ["BUILTINS", "FOLD_FUNS", "call_builtin", "is_builtin"]
+
+
+def _shape(a: Value) -> np.ndarray:
+    if is_scalar(a):
+        return np.zeros(0, dtype=np.int32)
+    return np.asarray(a.shape, dtype=np.int32)
+
+
+def _dim(a: Value) -> int:
+    return 0 if is_scalar(a) else int(a.ndim)
+
+
+def _mv(m: Value, v: Value) -> Value:
+    """Matrix-vector product, dimension-driven.
+
+    The paper's tiler (Figure 4) computes ``MV(CAT(paving, fitting),
+    rep++pat)`` where the concatenated matrix has one *row* per repetition/
+    pattern dimension (the Figure 10 convention), so the product is
+    ``v @ m``.  When the vector instead matches the matrix's column count,
+    the standard ``m @ v`` applies.  Square matrices resolve to ``v @ m``
+    (the tiler convention).
+    """
+    m = np.asarray(m)
+    v = np.asarray(v)
+    if m.ndim != 2 or v.ndim != 1:
+        raise SacRuntimeError(
+            f"MV expects a matrix and a vector, got ranks {m.ndim} and {v.ndim}"
+        )
+    if m.shape[0] == v.shape[0]:
+        return v @ m
+    if m.shape[1] == v.shape[0]:
+        return m @ v
+    raise SacRuntimeError(f"MV shape mismatch: matrix {m.shape} x vector {v.shape}")
+
+
+def _cat(a: Value, b: Value) -> np.ndarray:
+    """Concatenation along the first axis (SaC ``++``).
+
+    Accepts vectors or matrices with matching trailing dimensions — the
+    paper's ``CAT(paving, fitting)`` stacks the tiler matrices row-wise.
+    """
+    av = np.atleast_1d(np.asarray(a))
+    bv = np.atleast_1d(np.asarray(b))
+    if av.ndim != bv.ndim:
+        raise SacRuntimeError(
+            f"CAT rank mismatch: {av.ndim} vs {bv.ndim}"
+        )
+    if av.shape[1:] != bv.shape[1:]:
+        raise SacRuntimeError(
+            f"CAT trailing-shape mismatch: {av.shape} vs {bv.shape}"
+        )
+    return np.concatenate([av, bv])
+
+
+def _minimum(a: Value, b: Value) -> Value:
+    return to_python(np.minimum(a, b))
+
+
+def _maximum(a: Value, b: Value) -> Value:
+    return to_python(np.maximum(a, b))
+
+
+def _abs(a: Value) -> Value:
+    return to_python(np.abs(a))
+
+
+def _sum(a: Value) -> Value:
+    return to_python(np.sum(a))
+
+
+def _prod(a: Value) -> Value:
+    return to_python(np.prod(a))
+
+
+def _genarray(shape: Value, default: Value = 0) -> np.ndarray:
+    """Array constructor: ``genarray(shape, default)`` call form."""
+    from repro.sac.values import as_index_vector
+
+    shp = as_index_vector(shape, "genarray shape") if not is_scalar(shape) else (int(shape),)
+    if any(s < 0 for s in shp):
+        raise SacRuntimeError(f"negative genarray shape {shp}")
+    if isinstance(default, bool):
+        dtype = np.dtype(bool)
+    elif isinstance(default, (int, np.integer)):
+        dtype = np.dtype("int32")
+    elif is_scalar(default):
+        dtype = np.dtype("float64")
+    else:
+        out = np.empty(tuple(shp) + default.shape, dtype=default.dtype)
+        out[...] = default
+        return out
+    return np.full(tuple(shp), default, dtype=dtype)
+
+
+#: name -> (function, arity)
+BUILTINS: dict[str, tuple] = {
+    "shape": (_shape, 1),
+    "genarray": (_genarray, 2),
+    "dim": (_dim, 1),
+    "MV": (_mv, 2),
+    "CAT": (_cat, 2),
+    "min": (_minimum, 2),
+    "max": (_maximum, 2),
+    "abs": (_abs, 1),
+    "sum": (_sum, 1),
+    "prod": (_prod, 1),
+}
+
+#: binary reducers usable as the ``fold`` operation's function
+FOLD_FUNS: dict[str, tuple] = {
+    "add": (lambda a, b: to_python(np.add(a, b)), 2),
+    "mul": (lambda a, b: to_python(np.multiply(a, b)), 2),
+    "min": (_minimum, 2),
+    "max": (_maximum, 2),
+}
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS
+
+
+def call_builtin(name: str, args: list[Value]) -> Value:
+    try:
+        fn, arity = BUILTINS[name]
+    except KeyError:
+        raise SacRuntimeError(f"unknown builtin {name!r}") from None
+    if name == "genarray" and len(args) == 1:
+        args = [*args, 0]  # default element
+    if len(args) != arity:
+        raise SacRuntimeError(
+            f"builtin {name!r} expects {arity} arguments, got {len(args)}"
+        )
+    return fn(*args)

@@ -1,0 +1,203 @@
+"""Static analysis of WITH-loops shared by WLF and the CUDA backend.
+
+Extracts compile-time constant generator ranges, genarray shapes and
+coverage information from (partially evaluated) WITH-loop ASTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sac import ast
+
+__all__ = [
+    "StaticRange",
+    "const_int_vector",
+    "static_frame_shape",
+    "static_generator_range",
+    "is_full_coverage_single_generator",
+    "generators_cover_frame",
+]
+
+
+@dataclass(frozen=True)
+class StaticRange:
+    """A generator's index set, fully resolved: lower inclusive, upper
+    exclusive, step, width."""
+
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+    step: tuple[int, ...]
+    width: tuple[int, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.lower)
+
+    def is_dense(self) -> bool:
+        return all(s == 1 for s in self.step)
+
+    def points(self) -> int:
+        total = 1
+        for lo, hi, st, w in zip(self.lower, self.upper, self.step, self.width):
+            if hi <= lo:
+                return 0
+            full, rem = divmod(hi - lo, st)
+            count = full * w + min(rem, w)
+            total *= count
+        return total
+
+    def point_mask(self, frame_shape: tuple[int, ...]) -> np.ndarray:
+        """Boolean mask of covered frame cells (small frames only)."""
+        mask = np.zeros(frame_shape, dtype=bool)
+        grids = []
+        for lo, hi, st, w in zip(self.lower, self.upper, self.step, self.width):
+            vals = []
+            base = lo
+            while base < hi:
+                for k in range(w):
+                    if base + k < hi:
+                        vals.append(base + k)
+                base += st
+            grids.append(vals)
+        if any(len(g) == 0 for g in grids):
+            return mask
+        mesh = np.meshgrid(*grids, indexing="ij")
+        mask[tuple(m.reshape(-1) for m in mesh)] = True
+        return mask
+
+
+def const_int_vector(e: ast.Expr) -> tuple[int, ...] | None:
+    """Extract a constant integer vector from a (folded) expression."""
+    if isinstance(e, ast.ArrayLit):
+        out = []
+        for x in e.elements:
+            if isinstance(x, ast.IntLit):
+                out.append(x.value)
+            elif isinstance(x, ast.UnExpr) and x.op == "-" and isinstance(
+                x.operand, ast.IntLit
+            ):
+                out.append(-x.operand.value)
+            else:
+                return None
+        return tuple(out)
+    if isinstance(e, ast.IntLit):
+        return (e.value,)
+    return None
+
+
+def static_frame_shape(wl: ast.WithLoop, env_shape=None) -> tuple[int, ...] | None:
+    """The result frame shape of a genarray/modarray WITH-loop, if static.
+
+    For modarray the caller may pass the base array's known shape via
+    ``env_shape``.
+    """
+    op = wl.operation
+    if isinstance(op, ast.GenArray):
+        return const_int_vector(op.shape)
+    if isinstance(op, ast.ModArray):
+        return env_shape
+    return None
+
+
+def static_generator_range(
+    gen: ast.Generator, frame_shape: tuple[int, ...] | None
+) -> StaticRange | None:
+    """Resolve a generator's range when all bounds are compile-time constant.
+
+    Dot bounds need ``frame_shape``.  Returns ``None`` when anything is
+    dynamic.
+    """
+
+    def bound(b: ast.GenBound, which: str) -> tuple[int, ...] | None:
+        if isinstance(b.expr, ast.Dot):
+            if frame_shape is None:
+                return None
+            if which == "lower":
+                lo = tuple(0 for _ in frame_shape)
+                return lo if b.op == "<=" else tuple(-1 for _ in frame_shape)
+            return (
+                tuple(s - 1 for s in frame_shape)
+                if b.op == "<="
+                else tuple(frame_shape)
+            )
+        return const_int_vector(b.expr)
+
+    lo = bound(gen.lower, "lower")
+    hi = bound(gen.upper, "upper")
+    if lo is None or hi is None:
+        return None
+    if len(lo) == 1 and len(hi) > 1:
+        lo = lo * len(hi)
+    if len(hi) == 1 and len(lo) > 1:
+        hi = hi * len(lo)
+    if len(lo) != len(hi):
+        return None
+    if gen.lower.op == "<":
+        lo = tuple(x + 1 for x in lo)
+    if gen.upper.op == "<=":
+        hi = tuple(x + 1 for x in hi)
+    rank = len(lo)
+
+    def filt(e: ast.Expr | None, default: int) -> tuple[int, ...] | None:
+        if e is None:
+            return tuple(default for _ in range(rank))
+        v = const_int_vector(e)
+        if v is None:
+            return None
+        if len(v) == 1 and rank > 1:
+            v = v * rank
+        return v if len(v) == rank else None
+
+    step = filt(gen.step, 1)
+    width = filt(gen.width, 1)
+    if step is None or width is None:
+        return None
+    if any(s <= 0 for s in step) or any(w <= 0 or w > s for w, s in zip(width, step)):
+        return None
+    return StaticRange(lower=lo, upper=hi, step=step, width=width)
+
+
+def is_full_coverage_single_generator(
+    wl: ast.WithLoop, frame_shape: tuple[int, ...] | None = None
+) -> bool:
+    """True for a single-generator WITH-loop densely covering its frame —
+    the producer form WITH-loop folding can substitute from."""
+    shape = static_frame_shape(wl, frame_shape)
+    if shape is None or len(wl.generators) != 1:
+        return False
+    rng = static_generator_range(wl.generators[0], shape)
+    if rng is None or rng.rank != len(shape):
+        return False
+    return (
+        rng.lower == tuple(0 for _ in shape)
+        and rng.upper == tuple(shape)
+        and rng.is_dense()
+    )
+
+
+def generators_cover_frame(
+    wl: ast.WithLoop, frame_shape: tuple[int, ...]
+) -> bool | None:
+    """Whether the generators together cover every frame cell.
+
+    Returns ``None`` when any generator is dynamic.  Uses closed-form
+    point counting (ranges are disjoint by language semantics), falling
+    back to an explicit mask for small frames when counts alone cannot
+    decide.
+    """
+    total = int(np.prod(frame_shape))
+    count = 0
+    ranges = []
+    for gen in wl.generators:
+        rng = static_generator_range(gen, frame_shape)
+        if rng is None or rng.rank != len(frame_shape):
+            return None
+        ranges.append(rng)
+        count += rng.points()
+    if count != total:
+        return False
+    # counts match; since semantics guarantee disjointness, this is coverage
+    return True

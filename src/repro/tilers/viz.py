@@ -1,0 +1,84 @@
+"""ASCII visualisation of tilings (debugging/documentation aid).
+
+Renders which repetition point touches each array element — the picture
+the paper's Figure 10 sketches for the downscaler's tiler specification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TilerError
+from repro.tilers.tiler import Tiler
+
+__all__ = ["render_tiling", "render_pattern"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_tiling(tiler: Tiler, max_cells: int = 4096) -> str:
+    """Mark every array element with the repetition point that writes it.
+
+    Elements touched by several repetition points show ``*``; untouched
+    elements show ``.``.  Only 1-D/2-D arrays of up to ``max_cells``
+    elements render.
+    """
+    if tiler.array_rank > 2:
+        raise TilerError("render_tiling handles 1-D and 2-D arrays only")
+    total = int(np.prod(tiler.array_shape))
+    if total > max_cells:
+        raise TilerError(
+            f"array too large to render ({total} > {max_cells} cells)"
+        )
+    owner = np.full(tiler.array_shape, -1, dtype=np.int64)  # -1 = untouched
+    clash = np.zeros(tiler.array_shape, dtype=bool)
+    elems = tiler.all_elements()
+    rep_rank = tiler.repetition_rank
+    flat_reps = elems.reshape((-1,) + tiler.pattern_shape + (tiler.array_rank,))
+    rep_count = tiler.repetition_size
+    for rep_flat in range(rep_count):
+        coords = flat_reps[rep_flat].reshape(-1, tiler.array_rank)
+        for coord in coords:
+            idx = tuple(int(x) for x in coord)
+            if owner[idx] == -1:
+                owner[idx] = rep_flat
+            elif owner[idx] != rep_flat:
+                clash[idx] = True
+
+    def glyph(o: int, c: bool) -> str:
+        if c:
+            return "*"
+        if o < 0:
+            return "."
+        return _GLYPHS[o % len(_GLYPHS)]
+
+    if tiler.array_rank == 1:
+        return "".join(
+            glyph(int(owner[i]), bool(clash[i])) for i in range(tiler.array_shape[0])
+        )
+    rows = []
+    for r in range(tiler.array_shape[0]):
+        rows.append(
+            "".join(
+                glyph(int(owner[r, c]), bool(clash[r, c]))
+                for c in range(tiler.array_shape[1])
+            )
+        )
+    return "\n".join(rows)
+
+
+def render_pattern(tiler: Tiler, rep_index) -> str:
+    """Mark the elements of one pattern (``#``) within the array (``.``)."""
+    if tiler.array_rank > 2:
+        raise TilerError("render_pattern handles 1-D and 2-D arrays only")
+    mask = np.zeros(tiler.array_shape, dtype=bool)
+    pats = np.indices(tiler.pattern_shape).reshape(tiler.pattern_rank, -1).T
+    for pat in pats:
+        coord = tuple(int(x) for x in tiler.element(rep_index, tuple(pat)))
+        mask[coord] = True
+    if tiler.array_rank == 1:
+        return "".join("#" if mask[i] else "." for i in range(tiler.array_shape[0]))
+    return "\n".join(
+        "".join("#" if mask[r, c] else "." for c in range(tiler.array_shape[1]))
+        for r in range(tiler.array_shape[0])
+    )

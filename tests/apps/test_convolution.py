@@ -1,0 +1,172 @@
+"""Tests for the separable-convolution dual-route application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.convolution import (
+    ConvolutionConfig,
+    convolution_allocation,
+    convolution_model,
+    convolution_program_source,
+    convolve,
+    convolve_axis,
+    gaussian3,
+    gaussian5,
+)
+from repro.arrayol import validate_model
+from repro.arrayol.transform import GaspardContext, standard_chain
+from repro.cpu import CPUExecutor
+from repro.errors import ReproError
+from repro.gpu import CostModel, GPUExecutor, UNCALIBRATED
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.interp import Interpreter
+from repro.sac.parser import parse
+
+
+@pytest.fixture(scope="module")
+def config():
+    return gaussian5(24, 32)
+
+
+@pytest.fixture(scope="module")
+def image(config):
+    rng = np.random.default_rng(4)
+    return rng.normal(size=config.shape)
+
+
+@pytest.fixture(scope="module")
+def golden(config, image):
+    return convolve(image, config)
+
+
+class TestConfig:
+    def test_taps_must_be_odd(self):
+        with pytest.raises(ReproError):
+            ConvolutionConfig(rows=8, cols=8, taps=(0.5, 0.5))
+
+    def test_frame_must_fit_stencil(self):
+        with pytest.raises(ReproError):
+            ConvolutionConfig(rows=2, cols=8, taps=(0.25, 0.5, 0.25))
+
+    def test_gaussian_taps_normalised(self):
+        assert sum(gaussian3(9, 9).taps) == pytest.approx(1.0)
+        assert sum(gaussian5(9, 9).taps) == pytest.approx(1.0)
+
+    def test_input_tiler_centred(self, config):
+        t = config.input_tiler(axis=1)
+        assert t.origin == (0, -2)
+        assert t.pattern_shape == (5,)
+        assert t.repetition_shape == config.shape
+
+
+class TestReference:
+    def test_constant_frame_invariant(self, config):
+        frame = np.full(config.shape, 3.5)
+        np.testing.assert_allclose(convolve(frame, config), frame, rtol=1e-12)
+
+    def test_axis_pass_matches_manual_roll(self, config, image):
+        out = convolve_axis(image, config, axis=1)
+        manual = sum(
+            c * np.roll(image, config.center - t, axis=1)
+            for t, c in enumerate(config.taps)
+        )
+        np.testing.assert_allclose(out, manual, rtol=1e-12)
+
+    def test_separability(self, config, image):
+        hv = convolve_axis(convolve_axis(image, config, 1), config, 0)
+        vh = convolve_axis(convolve_axis(image, config, 0), config, 1)
+        np.testing.assert_allclose(hv, vh, rtol=1e-10)
+
+
+class TestSacRoute:
+    def test_interpreter(self, config, image, golden):
+        prog = parse(convolution_program_source(config))
+        out = Interpreter(prog).call("blur", [image])
+        np.testing.assert_allclose(out, golden, rtol=1e-12)
+
+    def test_wlf_fuses_both_passes(self, config):
+        """The inverse of the downscaler result: with full-coverage
+        single-generator passes, SaC fuses *across* the h/v passes into a
+        single kernel, while Gaspard2 necessarily keeps one per task."""
+        prog = parse(convolution_program_source(config))
+        cf = compile_function(prog, "blur", CompileOptions(target="cuda"))
+        assert cf.kernel_count == 1
+
+    def test_cuda_matches_golden(self, config, image, golden):
+        prog = parse(convolution_program_source(config))
+        cf = compile_function(prog, "blur", CompileOptions(target="cuda"))
+        res = GPUExecutor(CostModel(UNCALIBRATED)).run(cf.program, {"img": image})
+        np.testing.assert_allclose(
+            res.outputs[cf.program.host_outputs[0]], golden, rtol=1e-12
+        )
+
+    def test_seq_matches_golden(self, config, image, golden):
+        prog = parse(convolution_program_source(config))
+        cf = compile_function(prog, "blur", CompileOptions(target="seq"))
+        res = CPUExecutor(CostModel(UNCALIBRATED)).run(cf.program, {"img": image})
+        np.testing.assert_allclose(
+            res.outputs[cf.program.host_outputs[0]], golden, rtol=1e-12
+        )
+
+
+class TestGaspardRoute:
+    def test_model_validates(self, config):
+        validate_model(convolution_model(config))
+
+    def test_chain_and_execution(self, config, image, golden):
+        ctx = GaspardContext(
+            model=convolution_model(config), allocation=convolution_allocation()
+        )
+        standard_chain().run(ctx)
+        assert ctx.program.launch_count == 2  # one kernel per pass
+        res = GPUExecutor(CostModel(UNCALIBRATED)).run(ctx.program, {"image": image})
+        np.testing.assert_allclose(res.outputs["blurred"], golden, rtol=1e-12)
+
+    def test_float64_buffers(self, config):
+        ctx = GaspardContext(
+            model=convolution_model(config), allocation=convolution_allocation()
+        )
+        standard_chain().run(ctx)
+        from repro.ir.program import AllocDevice
+
+        for op in ctx.program.ops:
+            if isinstance(op, AllocDevice):
+                assert op.dtype == "float64"
+
+    def test_opencl_uses_double(self, config):
+        ctx = GaspardContext(
+            model=convolution_model(config), allocation=convolution_allocation()
+        )
+        standard_chain().run(ctx)
+        cl = ctx.program.source("kernels.cl")
+        assert "__global const double*" in cl
+        assert "0.375" in cl  # the centre tap
+
+
+class TestCrossRoute:
+    def test_routes_agree(self, config, image):
+        prog = parse(convolution_program_source(config))
+        cf = compile_function(prog, "blur", CompileOptions(target="cuda"))
+        sac = GPUExecutor(CostModel(UNCALIBRATED)).run(cf.program, {"img": image})
+        ctx = GaspardContext(
+            model=convolution_model(config), allocation=convolution_allocation()
+        )
+        standard_chain().run(ctx)
+        gas = GPUExecutor(CostModel(UNCALIBRATED)).run(ctx.program, {"image": image})
+        np.testing.assert_allclose(
+            sac.outputs[cf.program.host_outputs[0]],
+            gas.outputs["blurred"],
+            rtol=1e-12,
+        )
+
+    @pytest.mark.parametrize("factory", [gaussian3, gaussian5])
+    def test_both_stencil_sizes(self, factory, ):
+        cfg = factory(18, 20)
+        rng = np.random.default_rng(9)
+        img = rng.normal(size=cfg.shape)
+        prog = parse(convolution_program_source(cfg))
+        cf = compile_function(prog, "blur", CompileOptions(target="cuda"))
+        res = GPUExecutor(CostModel(UNCALIBRATED)).run(cf.program, {"img": img})
+        np.testing.assert_allclose(
+            res.outputs[cf.program.host_outputs[0]], convolve(img, cfg), rtol=1e-12
+        )

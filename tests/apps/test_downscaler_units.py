@@ -1,0 +1,180 @@
+"""Unit tests for the downscaler app pieces: config, reference, video,
+SaC source generation, ArrayOL model builder."""
+
+import numpy as np
+import pytest
+
+from repro.apps.downscaler import (
+    CIF,
+    HD,
+    GENERIC,
+    NONGENERIC,
+    channels_of,
+    downscale_frame,
+    downscaler_program_source,
+    synthetic_frame,
+    video_frames,
+)
+from repro.apps.downscaler.config import (
+    FrameSize,
+    H_WINDOW_OFFSETS,
+    V_WINDOW_OFFSETS,
+    WINDOW_TAPS,
+    horizontal_filter,
+    vertical_filter,
+)
+from repro.apps.downscaler.reference import apply_filter, downscale_video, interpolate_tiles
+from repro.errors import ReproError
+from repro.tilers import gather, is_exact
+
+
+class TestConfig:
+    def test_paper_resolutions(self):
+        # Section III: CIF 352x288 -> 132x128; HD 1920x1080 -> 720x480
+        assert CIF.shape == (288, 352)
+        assert CIF.out_shape == (128, 132)
+        assert HD.shape == (1080, 1920)
+        assert HD.out_shape == (480, 720)
+
+    def test_bad_frame_size_rejected(self):
+        with pytest.raises(ReproError):
+            FrameSize(rows=10, cols=16)  # rows not divisible by 9
+        with pytest.raises(ReproError):
+            FrameSize(rows=18, cols=10)  # cols not divisible by 8
+
+    def test_figure10_tiler_spec(self):
+        # the paper's Figure 10 horizontal input tiler at HD
+        t = horizontal_filter(HD).input_tiler
+        assert t.array_shape == (1080, 1920)
+        assert t.repetition_shape == (1080, 240)
+        assert t.origin == (0, 0)
+        assert t.paving == ((1, 0), (0, 8))
+        assert t.fitting == ((0,), (1,))
+
+    def test_output_tilers_exact(self):
+        for cfg in (horizontal_filter(CIF), vertical_filter(CIF)):
+            assert is_exact(cfg.output_tiler)
+
+    def test_wrapping_outputs_drive_kernel_counts(self):
+        h = horizontal_filter(HD)
+        v = vertical_filter(HD)
+        assert h.wrapping_outputs == (1, 2)
+        assert v.wrapping_outputs == (1, 2, 3)
+        assert h.expected_kernels_after_wlf == 5  # Table II row 1
+        assert v.expected_kernels_after_wlf == 7  # Table II row 2
+
+    def test_kernel_counts_size_invariant(self):
+        assert horizontal_filter(CIF).expected_kernels_after_wlf == 5
+        assert vertical_filter(CIF).expected_kernels_after_wlf == 7
+
+
+class TestReference:
+    def test_interpolation_formula(self):
+        # out = tmp/6 - tmp%6 (paper Figure 5)
+        tiles = np.arange(2 * 12, dtype=np.int32).reshape(2, 12)
+        out = interpolate_tiles(tiles, H_WINDOW_OFFSETS)
+        assert out.shape == (2, 3)
+        tmp = tiles[0, 0:6].sum()
+        assert out[0, 0] == tmp // 6 - tmp % 6
+
+    def test_filter_shapes(self):
+        size = FrameSize(rows=18, cols=16, name="t")
+        frame = np.zeros(size.shape, dtype=np.int32)
+        h = apply_filter(frame, horizontal_filter(size))
+        assert h.shape == size.h_out_shape
+        v = apply_filter(h, vertical_filter(size))
+        assert v.shape == size.out_shape
+
+    def test_filter_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            apply_filter(np.zeros((4, 4), np.int32), horizontal_filter(CIF))
+
+    def test_constant_frame_maps_through_formula(self):
+        size = FrameSize(rows=18, cols=16, name="t")
+        frame = np.full(size.shape, 60, dtype=np.int32)
+        out = downscale_frame(frame, size)
+        tmp = 60 * WINDOW_TAPS  # 360 -> 360/6 - 360%6 = 60
+        assert (out == 60).all()
+
+    def test_downscale_video_channels(self):
+        size = FrameSize(rows=18, cols=16, name="t")
+        frames = list(video_frames(size, 2))
+        outs = downscale_video(frames, size)
+        assert len(outs) == 2
+        assert outs[0].shape == size.out_shape + (3,)
+
+    def test_wraparound_is_toroidal(self):
+        """The last packet's wrapping windows read from the row start."""
+        size = FrameSize(rows=9, cols=16, name="t")
+        frame = np.zeros(size.shape, dtype=np.int32)
+        frame[:, :4] = 600  # only the wrapped-to region is non-zero
+        config = horizontal_filter(size)
+        tiles = gather(config.input_tiler, frame)
+        # second packet (cols 8..15 + wrap to 0..3): last 4 pattern elements
+        assert (tiles[0, 1, -4:] == 600).all()
+        assert (tiles[0, 1, :-4] == 0).all()
+
+
+class TestVideo:
+    def test_frame_shape_and_range(self):
+        f = synthetic_frame(CIF, 0)
+        assert f.shape == (288, 352, 3)
+        assert f.dtype == np.int32
+        assert f.min() >= 0 and f.max() <= 255
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(synthetic_frame(CIF, 3), synthetic_frame(CIF, 3))
+
+    def test_frames_differ_over_time(self):
+        assert not np.array_equal(synthetic_frame(CIF, 0), synthetic_frame(CIF, 1))
+
+    def test_channels_of(self):
+        f = synthetic_frame(CIF, 0)
+        chans = channels_of(f)
+        assert set(chans) == {"r", "g", "b"}
+        np.testing.assert_array_equal(chans["g"], f[..., 1])
+
+    def test_video_frames_count(self):
+        assert len(list(video_frames(CIF, 5))) == 5
+
+
+class TestSacSources:
+    @pytest.mark.parametrize("variant", [GENERIC, NONGENERIC])
+    def test_sources_parse(self, variant):
+        from repro.sac.parser import parse
+
+        prog = parse(downscaler_program_source(CIF, variant))
+        names = {f.name for f in prog.functions}
+        assert {"input_tiler", "downscale", "hfilter", "vfilter"} <= names
+        if variant == NONGENERIC:
+            assert "output_tiler_hfilter" in names
+        else:
+            assert "generic_output_tiler" in names
+
+    def test_task_matches_figure5_shape(self):
+        src = downscaler_program_source(CIF, NONGENERIC)
+        assert "tmp0 / 6 - tmp0 % 6" in src.replace("  ", " ")
+        assert "input[rep][0]" in src
+
+    def test_paper_syntax_idioms_present(self):
+        src = downscaler_program_source(CIF, NONGENERIC)
+        assert "MV( CAT( paving, fitting), rep ++ pat)" in src
+        assert "genarray( in_pattern, 0)" in src
+        assert "modarray( output)" in src
+
+
+class TestArrayolModelBuilder:
+    def test_model_validates(self):
+        from repro.apps.downscaler.arrayol_model import downscaler_model
+        from repro.arrayol import validate_model
+
+        validate_model(downscaler_model(CIF))
+
+    def test_channel_structure(self):
+        from repro.apps.downscaler.arrayol_model import downscaler_model
+
+        model = downscaler_model(CIF)
+        names = {i.name for i in model.top.instances}
+        assert names == {"fg", "hf", "vf", "fc"}
+        hf = model.top.instance("hf").task
+        assert {i.name for i in hf.instances} == {"rhf", "ghf", "bhf"}

@@ -1,0 +1,292 @@
+"""Unit tests for the ArrayOL metamodel and validation."""
+
+import pytest
+
+from repro.arrayol import (
+    ApplicationModel,
+    CompoundTask,
+    ElementaryTask,
+    IOTask,
+    Link,
+    PatternExpr,
+    Port,
+    RepetitiveTask,
+    TaskInstance,
+    TilerConnector,
+    validate_model,
+    validate_task,
+)
+from repro.errors import ModelValidationError, SchedulingError
+from repro.ir import expr as ir
+from repro.tilers import Tiler
+
+
+def identity_elementary(n=4):
+    return ElementaryTask(
+        name="ident",
+        inputs=(Port("pin", (n,), "in"),),
+        outputs=(Port("pout", (n,), "out"),),
+        body=tuple(
+            PatternExpr("pout", k, ir.Read("pin", (ir.Const(k),))) for k in range(n)
+        ),
+    )
+
+
+def block_tiler(array=(8, 8), pattern=4, step=4, rep=(8, 2), name="t"):
+    return Tiler(
+        origin=(0, 0),
+        fitting=((0,), (1,)),
+        paving=((1, 0), (0, step)),
+        array_shape=array,
+        pattern_shape=(pattern,),
+        repetition_shape=rep,
+        name=name,
+    )
+
+
+def repetitive(n=4):
+    return RepetitiveTask(
+        name="rep",
+        inputs=(Port("ain", (8, 8), "in"),),
+        outputs=(Port("aout", (8, 8), "out"),),
+        repetition=(8, 2),
+        inner=identity_elementary(n),
+        input_tilers=(TilerConnector("ain", "pin", block_tiler()),),
+        output_tilers=(TilerConnector("aout", "pout", block_tiler()),),
+    )
+
+
+class TestPorts:
+    def test_bad_direction(self):
+        with pytest.raises(ModelValidationError):
+            Port("p", (4,), "inout")
+
+    def test_bad_shape(self):
+        with pytest.raises(ModelValidationError):
+            Port("p", (0,), "in")
+
+
+class TestElementary:
+    def test_valid(self):
+        identity_elementary()
+
+    def test_unknown_port_read(self):
+        with pytest.raises(ModelValidationError, match="unknown port"):
+            ElementaryTask(
+                name="bad",
+                inputs=(Port("pin", (4,), "in"),),
+                outputs=(Port("pout", (1,), "out"),),
+                body=(PatternExpr("pout", 0, ir.Read("ghost", (ir.Const(0),))),),
+            )
+
+    def test_missing_output_element(self):
+        with pytest.raises(ModelValidationError, match="never produced"):
+            ElementaryTask(
+                name="bad",
+                inputs=(Port("pin", (4,), "in"),),
+                outputs=(Port("pout", (2,), "out"),),
+                body=(PatternExpr("pout", 0, ir.Read("pin", (ir.Const(0),))),),
+            )
+
+    def test_double_write_rejected(self):
+        with pytest.raises(ModelValidationError, match="single assignment"):
+            ElementaryTask(
+                name="bad",
+                inputs=(Port("pin", (4,), "in"),),
+                outputs=(Port("pout", (1,), "out"),),
+                body=(
+                    PatternExpr("pout", 0, ir.Read("pin", (ir.Const(0),))),
+                    PatternExpr("pout", 0, ir.Read("pin", (ir.Const(1),))),
+                ),
+            )
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ModelValidationError, match="outside"):
+            ElementaryTask(
+                name="bad",
+                inputs=(Port("pin", (4,), "in"),),
+                outputs=(Port("pout", (1,), "out"),),
+                body=(PatternExpr("pout", 5, ir.Read("pin", (ir.Const(0),))),),
+            )
+
+    def test_undefined_local_rejected(self):
+        with pytest.raises(ModelValidationError, match="undefined local"):
+            ElementaryTask(
+                name="bad",
+                inputs=(Port("pin", (4,), "in"),),
+                outputs=(Port("pout", (1,), "out"),),
+                body=(PatternExpr("pout", 0, ir.LocalRef("ghost")),),
+            )
+
+    def test_locals_usable(self):
+        ElementaryTask(
+            name="ok",
+            inputs=(Port("pin", (4,), "in"),),
+            outputs=(Port("pout", (1,), "out"),),
+            body=(PatternExpr("pout", 0, ir.LocalRef("t")),),
+            locals=(("t", ir.Read("pin", (ir.Const(0),))),),
+        )
+
+
+class TestRepetitiveValidation:
+    def test_valid(self):
+        validate_task(repetitive())
+
+    def test_tiler_pattern_mismatch(self):
+        bad = RepetitiveTask(
+            name="rep",
+            inputs=(Port("ain", (8, 8), "in"),),
+            outputs=(Port("aout", (8, 8), "out"),),
+            repetition=(8, 2),
+            inner=identity_elementary(4),
+            input_tilers=(
+                TilerConnector("ain", "pin", block_tiler(pattern=3, step=4)),
+            ),
+            output_tilers=(TilerConnector("aout", "pout", block_tiler()),),
+        )
+        with pytest.raises(ModelValidationError, match="pattern shape"):
+            validate_task(bad)
+
+    def test_repetition_mismatch(self):
+        bad = RepetitiveTask(
+            name="rep",
+            inputs=(Port("ain", (8, 8), "in"),),
+            outputs=(Port("aout", (8, 8), "out"),),
+            repetition=(4, 2),
+            inner=identity_elementary(4),
+            input_tilers=(TilerConnector("ain", "pin", block_tiler()),),
+            output_tilers=(TilerConnector("aout", "pout", block_tiler()),),
+        )
+        with pytest.raises(ModelValidationError, match="repetition"):
+            validate_task(bad)
+
+    def test_overlapping_output_tiler_rejected(self):
+        # pattern 6 over step 4 writes elements twice -> single assignment
+        bad = RepetitiveTask(
+            name="rep",
+            inputs=(Port("ain", (8, 8), "in"),),
+            outputs=(Port("aout", (8, 8), "out"),),
+            repetition=(8, 2),
+            inner=ElementaryTask(
+                name="wide",
+                inputs=(Port("pin", (4,), "in"),),
+                outputs=(Port("pout", (6,), "out"),),
+                body=tuple(
+                    PatternExpr("pout", k, ir.Read("pin", (ir.Const(0),)))
+                    for k in range(6)
+                ),
+            ),
+            input_tilers=(TilerConnector("ain", "pin", block_tiler()),),
+            output_tilers=(
+                TilerConnector("aout", "pout", block_tiler(pattern=6, step=4)),
+            ),
+        )
+        with pytest.raises(ModelValidationError, match="single assignment"):
+            validate_task(bad)
+
+    def test_unconnected_inner_port_rejected(self):
+        bad = RepetitiveTask(
+            name="rep",
+            inputs=(Port("ain", (8, 8), "in"),),
+            outputs=(Port("aout", (8, 8), "out"),),
+            repetition=(8, 2),
+            inner=identity_elementary(4),
+            input_tilers=(TilerConnector("ain", "pin", block_tiler()),),
+            output_tilers=(),
+        )
+        with pytest.raises(ModelValidationError, match="no tiler connector"):
+            validate_task(bad)
+
+
+def passthrough_io(name="io", shape=(8, 8)):
+    def ip(env, ins, outs):
+        for (pi, bi), (po, bo) in zip(ins.items(), outs.items()):
+            env[bo] = env[bi].copy()
+
+    return IOTask(
+        name=name,
+        inputs=(Port("i0", shape, "in"),),
+        outputs=(Port("o0", shape, "out"),),
+        ip=ip,
+    )
+
+
+class TestCompoundValidation:
+    def _compound(self, links):
+        return CompoundTask(
+            name="top",
+            inputs=(Port("src", (8, 8), "in"),),
+            outputs=(Port("dst", (8, 8), "out"),),
+            instances=(TaskInstance("r", repetitive()),),
+            links=tuple(links),
+        )
+
+    def test_valid(self):
+        top = self._compound(
+            [
+                Link(src=("", "src"), dst=("r", "ain")),
+                Link(src=("r", "aout"), dst=("", "dst")),
+            ]
+        )
+        validate_model(ApplicationModel("m", top))
+
+    def test_shape_mismatch_link(self):
+        top = CompoundTask(
+            name="top",
+            inputs=(Port("src", (4, 4), "in"),),
+            outputs=(Port("dst", (8, 8), "out"),),
+            instances=(TaskInstance("r", repetitive()),),
+            links=(
+                Link(src=("", "src"), dst=("r", "ain")),
+                Link(src=("r", "aout"), dst=("", "dst")),
+            ),
+        )
+        with pytest.raises(ModelValidationError, match="shape"):
+            validate_task(top)
+
+    def test_undriven_input_rejected(self):
+        top = self._compound([Link(src=("r", "aout"), dst=("", "dst"))])
+        with pytest.raises(ModelValidationError, match="not driven"):
+            validate_task(top)
+
+    def test_undriven_output_rejected(self):
+        top = self._compound([Link(src=("", "src"), dst=("r", "ain"))])
+        with pytest.raises(ModelValidationError, match="not driven"):
+            validate_task(top)
+
+    def test_double_driven_input_rejected(self):
+        top = self._compound(
+            [
+                Link(src=("", "src"), dst=("r", "ain")),
+                Link(src=("", "src"), dst=("r", "ain")),
+                Link(src=("r", "aout"), dst=("", "dst")),
+            ]
+        )
+        with pytest.raises(ModelValidationError, match="multiple links"):
+            validate_task(top)
+
+    def test_cycle_rejected(self):
+        a = passthrough_io("a")
+        b = passthrough_io("b")
+        top = CompoundTask(
+            name="top",
+            inputs=(),
+            outputs=(),
+            instances=(TaskInstance("a", a), TaskInstance("b", b)),
+            links=(
+                Link(src=("a", "o0"), dst=("b", "i0")),
+                Link(src=("b", "o0"), dst=("a", "i0")),
+            ),
+        )
+        with pytest.raises(SchedulingError, match="cycle"):
+            validate_task(top)
+
+    def test_direction_violation(self):
+        top = self._compound(
+            [
+                Link(src=("r", "ain"), dst=("", "dst")),  # input used as source
+                Link(src=("", "src"), dst=("r", "ain")),
+            ]
+        )
+        with pytest.raises(ModelValidationError, match="direction"):
+            validate_task(top)

@@ -1,0 +1,191 @@
+"""Unit tests for the transformation chain, scheduling, MARTE allocation
+and the OpenCL backend."""
+
+import numpy as np
+import pytest
+
+from repro.apps.downscaler.arrayol_model import (
+    downscaler_allocation,
+    downscaler_model,
+    filter_repetitive_task,
+)
+from repro.apps.downscaler.config import FrameSize, horizontal_filter
+from repro.apps.downscaler.reference import apply_filter, downscale_frame
+from repro.arrayol import (
+    Allocation,
+    GPU_CPU_PLATFORM,
+    HwResource,
+    Platform,
+    buffer_bindings,
+    schedule_instances,
+)
+from repro.arrayol.backend import kernel_for_repetitive, tiler_index_exprs
+from repro.arrayol.transform import GaspardContext, standard_chain
+from repro.errors import ModelValidationError
+from repro.gpu import CostModel, GPUExecutor, UNCALIBRATED
+from repro.ir import evaluate_kernel, validate_program
+from repro.ir import expr as ir
+from repro.tilers import Tiler
+
+TINY = FrameSize(rows=18, cols=16, name="tiny")
+
+
+@pytest.fixture(scope="module")
+def chain_ctx():
+    ctx = GaspardContext(
+        model=downscaler_model(TINY), allocation=downscaler_allocation()
+    )
+    chain = standard_chain()
+    chain.run(ctx)
+    return ctx, chain
+
+
+class TestMarte:
+    def test_platform_lookup(self):
+        assert GPU_CPU_PLATFORM.resource("gpu").kind == "compute_device"
+        with pytest.raises(ModelValidationError):
+            GPU_CPU_PLATFORM.resource("tpu")
+
+    def test_bad_resource_kind(self):
+        with pytest.raises(ModelValidationError):
+            HwResource("x", "fpga")
+
+    def test_allocation_lookup(self):
+        alloc = Allocation(platform=GPU_CPU_PLATFORM, mapping=(("t", "gpu"),))
+        assert alloc.on_device("t")
+        with pytest.raises(ModelValidationError):
+            alloc.resource_of("other")
+
+    def test_allocation_unknown_resource(self):
+        with pytest.raises(ModelValidationError):
+            Allocation(platform=GPU_CPU_PLATFORM, mapping=(("t", "tpu"),))
+
+
+class TestTilerIndexExprs:
+    def test_figure10_horizontal_geometry(self):
+        config = horizontal_filter(TINY)
+        exprs = tiler_index_exprs(config.input_tiler, (3,))
+        assert len(exprs) == 2
+        # both components carry the modular addressing
+        assert all(isinstance(e, ir.BinOp) and e.op == "%" for e in exprs)
+
+    def test_pattern_rank_checked(self):
+        config = horizontal_filter(TINY)
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError, match="rank"):
+            tiler_index_exprs(config.input_tiler, (0, 0))
+
+    def test_kernel_matches_reference_filter(self):
+        config = horizontal_filter(TINY)
+        task = filter_repetitive_task(config, "hf")
+        kernel = kernel_for_repetitive(task, "hf_k", {"fin": "src", "fout": "dst"})
+        assert kernel.space.extent == config.repetition_shape
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, 256, size=config.frame_shape).astype(np.int32)
+        dst = np.zeros(config.out_shape, dtype=np.int32)
+        evaluate_kernel(kernel, {"src": src, "dst": dst})
+        np.testing.assert_array_equal(dst, apply_filter(src, config))
+
+
+class TestChain:
+    def test_trace_has_every_pass(self, chain_ctx):
+        _, chain = chain_ctx
+        assert [p.name for p in chain.passes] == [
+            "validate",
+            "flatten_hierarchy",
+            "schedule",
+            "bind_buffers",
+            "map_ndranges",
+            "generate_kernels",
+            "emit_program",
+            "emit_sources",
+        ]
+        assert len(chain.trace) == len(chain.passes)
+
+    def test_flattening_exposes_channel_tasks(self, chain_ctx):
+        ctx, _ = chain_ctx
+        names = {i.name for i in ctx.model.top.instances}
+        assert names == {
+            "fg", "fc",
+            "hf_rhf", "hf_ghf", "hf_bhf",
+            "vf_rvf", "vf_gvf", "vf_bvf",
+        }
+
+    def test_schedule_respects_dataflow(self, chain_ctx):
+        ctx, _ = chain_ctx
+        order = ctx.schedule
+        assert order.index("fg") < order.index("hf_rhf")
+        assert order.index("hf_rhf") < order.index("vf_rvf")
+        assert order.index("vf_bvf") < order.index("fc")
+
+    def test_one_kernel_per_filter_task(self, chain_ctx):
+        ctx, _ = chain_ctx
+        assert len(ctx.kernels) == 6  # 3 channels x 2 filters (Table I)
+
+    def test_ndranges_are_repetition_spaces(self, chain_ctx):
+        ctx, _ = chain_ctx
+        h = horizontal_filter(TINY)
+        assert ctx.ndranges["hf_rhf"] == h.repetition_shape
+
+    def test_program_validates_and_transfer_counts(self, chain_ctx):
+        ctx, _ = chain_ctx
+        validate_program(ctx.program)
+        assert ctx.program.h2d_count == 3  # one per channel
+        assert ctx.program.d2h_count == 3
+        assert ctx.program.launch_count == 6
+
+    def test_opencl_source_shape(self, chain_ctx):
+        ctx, _ = chain_ctx
+        cl = ctx.program.source("kernels.cl")
+        assert cl.count("__kernel void") == 6
+        assert "get_global_id(0)" in cl
+        assert "%" in cl  # the tiler's modular addressing, Figure 11 style
+
+    def test_functional_against_reference(self, chain_ctx):
+        ctx, _ = chain_ctx
+        rng = np.random.default_rng(8)
+        frame = rng.integers(0, 256, size=TINY.shape + (3,)).astype(np.int32)
+        env = {f"in_{c}": frame[..., i].copy() for i, c in enumerate("rgb")}
+        ex = GPUExecutor(CostModel(UNCALIBRATED))
+        res = ex.run(ctx.program, env)
+        for i, c in enumerate("rgb"):
+            np.testing.assert_array_equal(
+                res.outputs[f"out_{c}"], downscale_frame(frame[..., i], TINY)
+            )
+        ex.memory.assert_no_leaks()
+
+
+class TestScheduleHelpers:
+    def test_buffer_bindings_share_link_endpoints(self, chain_ctx):
+        ctx, _ = chain_ctx
+        b = buffer_bindings(ctx.model.top)
+        # fg output and hf input share a buffer per channel
+        assert b[("fg", "dec_r")] == b[("hf_rhf", "fin")]
+        # compound ports keep their own names
+        assert b[("", "in_r")] == "in_r"
+
+    def test_schedule_is_deterministic(self, chain_ctx):
+        ctx, _ = chain_ctx
+        assert schedule_instances(ctx.model.top) == schedule_instances(ctx.model.top)
+
+
+class TestCpuAllocatedTask:
+    def test_repetitive_task_on_cpu(self):
+        """A filter allocated to the CPU runs as a host step."""
+        mapping = [("fg", "host"), ("fc", "host")]
+        for c in "rgb":
+            mapping.append((f"hf_{c}hf", "host"))  # H filters on the CPU
+            mapping.append((f"vf_{c}vf", "gpu"))
+        alloc = Allocation(platform=GPU_CPU_PLATFORM, mapping=tuple(mapping))
+        ctx = GaspardContext(model=downscaler_model(TINY), allocation=alloc)
+        standard_chain().run(ctx)
+        assert len(ctx.kernels) == 3  # only the V filters became kernels
+        rng = np.random.default_rng(9)
+        frame = rng.integers(0, 256, size=TINY.shape + (3,)).astype(np.int32)
+        env = {f"in_{c}": frame[..., i].copy() for i, c in enumerate("rgb")}
+        res = GPUExecutor(CostModel(UNCALIBRATED)).run(ctx.program, env)
+        for i, c in enumerate("rgb"):
+            np.testing.assert_array_equal(
+                res.outputs[f"out_{c}"], downscale_frame(frame[..., i], TINY)
+            )

@@ -1,0 +1,121 @@
+"""Unit tests for device specs and the memory manager."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.gpu import GTX480, I7_930, DeviceSpec, HostSpec, MemoryManager
+
+
+class TestDeviceSpec:
+    def test_gtx480_matches_paper_section_viii(self):
+        assert GTX480.sm_count == 15
+        assert GTX480.cores_per_sm == 32
+        assert GTX480.clock_ghz == pytest.approx(1.4)
+        assert GTX480.memory_bytes == 1536 * 1024 * 1024
+        assert GTX480.core_count == 480
+        assert GTX480.peak_gops == pytest.approx(672.0)
+
+    def test_i7_930(self):
+        assert I7_930.cores == 4
+        assert I7_930.clock_ghz == pytest.approx(2.8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sm_count=0),
+            dict(clock_ghz=0),
+            dict(memory_bytes=0),
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        base = dict(
+            name="x", sm_count=1, cores_per_sm=1, clock_ghz=1.0, memory_bytes=1024
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            DeviceSpec(**base)
+
+    def test_invalid_host(self):
+        with pytest.raises(ValueError):
+            HostSpec(name="x", cores=0, clock_ghz=1.0)
+
+
+def tiny_device(mem=1024):
+    return DeviceSpec(name="tiny", sm_count=1, cores_per_sm=1, clock_ghz=1.0, memory_bytes=mem)
+
+
+class TestMemoryManager:
+    def test_alloc_and_get(self):
+        mm = MemoryManager(tiny_device())
+        buf = mm.alloc("a", (4, 4), "int32")
+        assert buf.nbytes == 64
+        assert mm.get("a") is buf
+        assert "a" in mm
+        assert mm.bytes_in_use == 64
+
+    def test_oom(self):
+        mm = MemoryManager(tiny_device(mem=100))
+        with pytest.raises(AllocationError, match="out of memory"):
+            mm.alloc("big", (100,), "int32")
+
+    def test_oom_accounts_for_live_buffers(self):
+        mm = MemoryManager(tiny_device(mem=128))
+        mm.alloc("a", (16,), "int32")  # 64 bytes
+        with pytest.raises(AllocationError):
+            mm.alloc("b", (17,), "int32")  # 68 > 64 remaining
+        mm.alloc("c", (16,), "int32")  # exactly fits
+
+    def test_double_alloc_rejected(self):
+        mm = MemoryManager(tiny_device())
+        mm.alloc("a", (4,))
+        with pytest.raises(AllocationError, match="already allocated"):
+            mm.alloc("a", (4,))
+
+    def test_free_releases_capacity(self):
+        mm = MemoryManager(tiny_device(mem=64))
+        mm.alloc("a", (16,), "int32")
+        mm.free("a")
+        assert mm.bytes_in_use == 0
+        mm.alloc("b", (16,), "int32")  # fits again
+
+    def test_double_free_rejected(self):
+        mm = MemoryManager(tiny_device())
+        mm.alloc("a", (4,))
+        mm.free("a")
+        with pytest.raises(AllocationError):
+            mm.free("a")
+
+    def test_get_after_free_rejected(self):
+        mm = MemoryManager(tiny_device())
+        mm.alloc("a", (4,))
+        mm.free("a")
+        with pytest.raises(AllocationError):
+            mm.get("a")
+
+    def test_peak_tracking(self):
+        mm = MemoryManager(tiny_device(mem=1024))
+        mm.alloc("a", (64,), "int32")  # 256
+        mm.alloc("b", (64,), "int32")  # 512 total
+        mm.free("a")
+        mm.alloc("c", (16,), "int32")
+        assert mm.peak_bytes == 512
+
+    def test_leak_detection(self):
+        mm = MemoryManager(tiny_device())
+        mm.alloc("a", (4,))
+        with pytest.raises(AllocationError, match="leak"):
+            mm.assert_no_leaks()
+        mm.free("a")
+        mm.assert_no_leaks()
+
+    def test_counters_and_reset(self):
+        mm = MemoryManager(tiny_device())
+        mm.alloc("a", (4,))
+        mm.alloc("b", (4,))
+        mm.free("a")
+        assert mm.alloc_count == 2
+        assert mm.free_count == 1
+        assert mm.live_buffers == ("b",)
+        mm.reset()
+        assert mm.bytes_in_use == 0
+        assert mm.live_buffers == ()

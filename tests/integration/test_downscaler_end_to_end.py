@@ -1,0 +1,159 @@
+"""End-to-end integration: every route computes the same downscaled frames.
+
+At CIF scale (the paper's motivating format, 352x288 -> 132x128) the five
+implementations must agree bit-exactly with the NumPy golden reference:
+
+1. the SaC reference interpreter (unoptimised program),
+2. the interpreter on the fully optimised program,
+3. SaC -> CUDA on the simulated GPU (both variants),
+4. SaC sequential target,
+5. ArrayOL -> OpenCL via the Gaspard2 chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.downscaler import (
+    CIF,
+    GENERIC,
+    NONGENERIC,
+    downscale_frame,
+    downscaler_program_source,
+    synthetic_frame,
+)
+from repro.apps.downscaler.arrayol_model import downscaler_allocation, downscaler_model
+from repro.apps.downscaler.config import FrameSize
+from repro.arrayol.transform import GaspardContext, standard_chain
+from repro.cpu import CPUExecutor
+from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED
+from repro.ir import validate_program
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.interp import Interpreter
+from repro.sac.opt import optimize_program
+from repro.sac.parser import parse
+
+TINY = FrameSize(rows=27, cols=24, name="tiny27")
+
+
+@pytest.fixture(scope="module")
+def cif_frame():
+    return synthetic_frame(CIF, 7)[..., 0].copy()
+
+
+@pytest.fixture(scope="module")
+def cif_golden(cif_frame):
+    return downscale_frame(cif_frame, CIF)
+
+
+@pytest.fixture(scope="module")
+def tiny_frame():
+    return synthetic_frame(TINY, 1)[..., 2].copy()
+
+
+@pytest.fixture(scope="module")
+def tiny_golden(tiny_frame):
+    return downscale_frame(tiny_frame, TINY)
+
+
+class TestSacRoutesCIF:
+    @pytest.mark.parametrize("variant", [NONGENERIC, GENERIC])
+    def test_cuda_route(self, variant, cif_frame, cif_golden):
+        prog = parse(downscaler_program_source(CIF, variant))
+        cf = compile_function(prog, "downscale", CompileOptions(target="cuda"))
+        validate_program(cf.program)
+        ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+        res = ex.run(cf.program, {"frame": cif_frame})
+        np.testing.assert_array_equal(
+            res.outputs[cf.program.host_outputs[0]], cif_golden
+        )
+        ex.memory.assert_no_leaks()
+
+    @pytest.mark.parametrize("variant", [NONGENERIC, GENERIC])
+    def test_seq_route(self, variant, cif_frame, cif_golden):
+        prog = parse(downscaler_program_source(CIF, variant))
+        cf = compile_function(prog, "downscale", CompileOptions(target="seq"))
+        res = CPUExecutor(CostModel(GTX480_CALIBRATED)).run(
+            cf.program, {"frame": cif_frame}
+        )
+        np.testing.assert_array_equal(
+            res.outputs[cf.program.host_outputs[0]], cif_golden
+        )
+
+
+class TestGaspardRouteCIF:
+    def test_opencl_route(self, cif_frame, cif_golden):
+        ctx = GaspardContext(
+            model=downscaler_model(CIF), allocation=downscaler_allocation()
+        )
+        standard_chain().run(ctx)
+        validate_program(ctx.program)
+        frame_rgb = synthetic_frame(CIF, 7)
+        env = {f"in_{c}": frame_rgb[..., i].copy() for i, c in enumerate("rgb")}
+        res = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(ctx.program, env)
+        np.testing.assert_array_equal(res.outputs["out_r"], cif_golden)
+        for i, c in enumerate("rgb"):
+            np.testing.assert_array_equal(
+                res.outputs[f"out_{c}"], downscale_frame(frame_rgb[..., i], CIF)
+            )
+
+
+class TestInterpreterRoutes:
+    """Interpreter checks run at a smaller size (pure Python loops)."""
+
+    @pytest.mark.parametrize("variant", [NONGENERIC, GENERIC])
+    def test_unoptimised_interpreter(self, variant, tiny_frame, tiny_golden):
+        prog = parse(downscaler_program_source(TINY, variant))
+        out = Interpreter(prog).call("downscale", [tiny_frame])
+        np.testing.assert_array_equal(out, tiny_golden)
+
+    @pytest.mark.parametrize("variant", [NONGENERIC, GENERIC])
+    def test_optimised_interpreter(self, variant, tiny_frame, tiny_golden):
+        prog = parse(downscaler_program_source(TINY, variant))
+        opt = optimize_program(prog, entry="downscale")
+        out = Interpreter(opt).call("downscale", [tiny_frame])
+        np.testing.assert_array_equal(out, tiny_golden)
+
+
+class TestCrossRouteAgreement:
+    def test_sac_and_gaspard_agree_per_filter(self, tiny_frame):
+        """Both compilation routes produce identical horizontal filter
+        output (the paper's core comparability premise)."""
+        from repro.apps.downscaler.arrayol_model import filter_repetitive_task
+        from repro.apps.downscaler.config import horizontal_filter
+        from repro.arrayol.backend import kernel_for_repetitive
+        from repro.ir import evaluate_kernel
+
+        config = horizontal_filter(TINY)
+        # ArrayOL kernel
+        task = filter_repetitive_task(config, "hf")
+        kernel = kernel_for_repetitive(task, "hf", {"fin": "src", "fout": "dst"})
+        dst = np.zeros(config.out_shape, dtype=np.int32)
+        evaluate_kernel(kernel, {"src": tiny_frame, "dst": dst})
+        # SaC route
+        prog = parse(downscaler_program_source(TINY, NONGENERIC))
+        cf = compile_function(prog, "hfilter", CompileOptions(target="cuda"))
+        res = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(
+            cf.program, {"frame": tiny_frame}
+        )
+        np.testing.assert_array_equal(res.outputs[cf.program.host_outputs[0]], dst)
+
+
+class TestStructuralFacts:
+    def test_kernel_counts_all_routes(self):
+        prog = parse(downscaler_program_source(CIF, NONGENERIC))
+        cf = compile_function(prog, "downscale", CompileOptions(target="cuda"))
+        assert cf.kernel_count == 12  # 5 + 7 (Table II)
+        ctx = GaspardContext(
+            model=downscaler_model(CIF), allocation=downscaler_allocation()
+        )
+        standard_chain().run(ctx)
+        assert ctx.program.launch_count == 6  # 3 + 3 (Table I)
+
+    def test_transfer_counts_per_frame(self):
+        ctx = GaspardContext(
+            model=downscaler_model(CIF), allocation=downscaler_allocation()
+        )
+        standard_chain().run(ctx)
+        # 3 channels in, 3 channels out -> 900 calls each way at 300 frames
+        assert ctx.program.h2d_count == 3
+        assert ctx.program.d2h_count == 3

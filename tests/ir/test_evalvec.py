@@ -1,0 +1,259 @@
+"""Unit tests for the vectorised kernel evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ArrayParam,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    IndexSpace,
+    Kernel,
+    KernelEvaluationError,
+    LocalRef,
+    ParamRef,
+    Read,
+    ScalarParam,
+    Select,
+    Store,
+    ThreadIdx,
+    UnOp,
+    evaluate_kernel,
+)
+
+
+def make_kernel(body, arrays, space=None, scalars=()):
+    return Kernel(
+        name="k",
+        space=space or IndexSpace((0, 0), (4, 8)),
+        arrays=tuple(arrays),
+        scalars=tuple(scalars),
+        body=tuple(body),
+    )
+
+
+def test_elementwise_add_one():
+    k = make_kernel(
+        body=[
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                BinOp("+", Read("src", (ThreadIdx(0), ThreadIdx(1))), Const(1)),
+            )
+        ],
+        arrays=[
+            ArrayParam("src", (4, 8), intent="in"),
+            ArrayParam("dst", (4, 8), intent="out"),
+        ],
+    )
+    src = np.arange(32, dtype=np.int32).reshape(4, 8)
+    dst = np.zeros((4, 8), dtype=np.int32)
+    evaluate_kernel(k, {"src": src, "dst": dst})
+    np.testing.assert_array_equal(dst, src + 1)
+
+
+def test_strided_space_writes_only_step_points():
+    k = make_kernel(
+        body=[Store("dst", (ThreadIdx(0),), Const(7))],
+        arrays=[ArrayParam("dst", (10,), intent="out")],
+        space=IndexSpace((1,), (10,), (3,)),
+    )
+    dst = np.zeros(10, dtype=np.int32)
+    evaluate_kernel(k, {"dst": dst})
+    np.testing.assert_array_equal(dst, [0, 7, 0, 0, 7, 0, 0, 7, 0, 0])
+
+
+def test_static_for_loop_accumulates():
+    k = make_kernel(
+        body=[
+            Assign("acc", Const(0)),
+            For(
+                "t",
+                0,
+                6,
+                [
+                    Assign(
+                        "acc",
+                        BinOp("+", LocalRef("acc"), Read("src", (ThreadIdx(0), LocalRef("t")))),
+                    )
+                ],
+            ),
+            Store("dst", (ThreadIdx(0),), LocalRef("acc")),
+        ],
+        arrays=[
+            ArrayParam("src", (4, 8), intent="in"),
+            ArrayParam("dst", (4,), intent="out"),
+        ],
+        space=IndexSpace((0,), (4,)),
+    )
+    src = np.arange(32, dtype=np.int32).reshape(4, 8)
+    dst = np.zeros(4, dtype=np.int32)
+    evaluate_kernel(k, {"src": src, "dst": dst})
+    np.testing.assert_array_equal(dst, src[:, :6].sum(axis=1))
+
+
+def test_paper_filter_body():
+    """tmp = sum of 6; out = tmp/6 - tmp%6 (Figure 5 semantics)."""
+    body = [
+        Assign("tmp", Const(0)),
+        For(
+            "t",
+            0,
+            6,
+            [
+                Assign(
+                    "tmp",
+                    BinOp("+", LocalRef("tmp"), Read("src", (ThreadIdx(0), LocalRef("t")))),
+                )
+            ],
+        ),
+        Store(
+            "dst",
+            (ThreadIdx(0),),
+            BinOp(
+                "-",
+                BinOp("/", LocalRef("tmp"), Const(6)),
+                BinOp("%", LocalRef("tmp"), Const(6)),
+            ),
+        ),
+    ]
+    k = make_kernel(
+        body=body,
+        arrays=[
+            ArrayParam("src", (5, 8), intent="in"),
+            ArrayParam("dst", (5,), intent="out"),
+        ],
+        space=IndexSpace((0,), (5,)),
+    )
+    rng = np.random.default_rng(3)
+    src = rng.integers(0, 256, size=(5, 8)).astype(np.int32)
+    dst = np.zeros(5, dtype=np.int32)
+    evaluate_kernel(k, {"src": src, "dst": dst})
+    tmp = src[:, :6].astype(np.int64).sum(axis=1)
+    np.testing.assert_array_equal(dst, (tmp // 6 - tmp % 6).astype(np.int32))
+
+
+def test_select_and_comparison():
+    k = make_kernel(
+        body=[
+            Store(
+                "dst",
+                (ThreadIdx(0),),
+                Select(
+                    BinOp("<", ThreadIdx(0), Const(2)),
+                    Const(1),
+                    UnOp("-", Const(1)),
+                ),
+            )
+        ],
+        arrays=[ArrayParam("dst", (4,), intent="out")],
+        space=IndexSpace((0,), (4,)),
+    )
+    dst = np.zeros(4, dtype=np.int32)
+    evaluate_kernel(k, {"dst": dst})
+    np.testing.assert_array_equal(dst, [1, 1, -1, -1])
+
+
+def test_scalar_params():
+    k = make_kernel(
+        body=[Store("dst", (ThreadIdx(0),), BinOp("*", ThreadIdx(0), ParamRef("scale")))],
+        arrays=[ArrayParam("dst", (4,), intent="out")],
+        scalars=[ScalarParam("scale")],
+        space=IndexSpace((0,), (4,)),
+    )
+    dst = np.zeros(4, dtype=np.int32)
+    evaluate_kernel(k, {"dst": dst}, {"scale": 3})
+    np.testing.assert_array_equal(dst, [0, 3, 6, 9])
+
+
+def test_modulo_wrap_addressing():
+    """Reads through (iv + 6) % 8 wrap like the tiler addressing."""
+    k = make_kernel(
+        body=[
+            Store(
+                "dst",
+                (ThreadIdx(0),),
+                Read("src", (BinOp("%", BinOp("+", ThreadIdx(0), Const(6)), Const(8)),)),
+            )
+        ],
+        arrays=[
+            ArrayParam("src", (8,), intent="in"),
+            ArrayParam("dst", (8,), intent="out"),
+        ],
+        space=IndexSpace((0,), (8,)),
+    )
+    src = np.arange(8, dtype=np.int32)
+    dst = np.zeros(8, dtype=np.int32)
+    evaluate_kernel(k, {"src": src, "dst": dst})
+    np.testing.assert_array_equal(dst, np.roll(src, -6))
+
+
+class TestErrors:
+    def test_out_of_bounds_read_detected(self):
+        k = make_kernel(
+            body=[
+                Store(
+                    "dst",
+                    (ThreadIdx(0),),
+                    Read("src", (BinOp("+", ThreadIdx(0), Const(5)),)),
+                )
+            ],
+            arrays=[
+                ArrayParam("src", (8,), intent="in"),
+                ArrayParam("dst", (8,), intent="out"),
+            ],
+            space=IndexSpace((0,), (8,)),
+        )
+        with pytest.raises(KernelEvaluationError, match="out of bounds"):
+            evaluate_kernel(
+                k, {"src": np.zeros(8, np.int32), "dst": np.zeros(8, np.int32)}
+            )
+
+    def test_missing_buffer_detected(self):
+        k = make_kernel(
+            body=[Store("dst", (ThreadIdx(0),), Const(0))],
+            arrays=[ArrayParam("dst", (8,), intent="out")],
+            space=IndexSpace((0,), (8,)),
+        )
+        with pytest.raises(KernelEvaluationError, match="not bound"):
+            evaluate_kernel(k, {})
+
+    def test_shape_mismatch_detected(self):
+        k = make_kernel(
+            body=[Store("dst", (ThreadIdx(0),), Const(0))],
+            arrays=[ArrayParam("dst", (8,), intent="out")],
+            space=IndexSpace((0,), (8,)),
+        )
+        with pytest.raises(KernelEvaluationError, match="shape"):
+            evaluate_kernel(k, {"dst": np.zeros(9, np.int32)})
+
+    def test_missing_scalar_detected(self):
+        k = make_kernel(
+            body=[Store("dst", (ThreadIdx(0),), ParamRef("s"))],
+            arrays=[ArrayParam("dst", (8,), intent="out")],
+            scalars=[ScalarParam("s")],
+            space=IndexSpace((0,), (8,)),
+        )
+        with pytest.raises(KernelEvaluationError, match="scalar"):
+            evaluate_kernel(k, {"dst": np.zeros(8, np.int32)})
+
+    def test_unbound_local_detected(self):
+        k = make_kernel(
+            body=[Store("dst", (ThreadIdx(0),), LocalRef("ghost"))],
+            arrays=[ArrayParam("dst", (8,), intent="out")],
+            space=IndexSpace((0,), (8,)),
+        )
+        with pytest.raises(KernelEvaluationError, match="unbound local"):
+            evaluate_kernel(k, {"dst": np.zeros(8, np.int32)})
+
+    def test_empty_space_is_noop(self):
+        k = make_kernel(
+            body=[Store("dst", (ThreadIdx(0),), Const(1))],
+            arrays=[ArrayParam("dst", (8,), intent="out")],
+            space=IndexSpace((3,), (3,)),
+        )
+        dst = np.zeros(8, dtype=np.int32)
+        evaluate_kernel(k, {"dst": dst})
+        assert (dst == 0).all()

@@ -1,0 +1,93 @@
+"""Unit tests for IR expressions and C arithmetic helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import BinOp, Const, Read, Select, ThreadIdx, UnOp, c_div, c_mod
+from repro.ir.expr import LocalRef, walk
+
+
+class TestCArithmetic:
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [
+            (7, 2, 3, 1),
+            (-7, 2, -3, -1),
+            (7, -2, -3, 1),
+            (-7, -2, 3, -1),
+            (6, 6, 1, 0),
+            (0, 5, 0, 0),
+        ],
+    )
+    def test_c_division_semantics(self, a, b, q, r):
+        assert int(c_div(np.int64(a), np.int64(b))) == q
+        assert int(c_mod(np.int64(a), np.int64(b))) == r
+
+    def test_c_div_matches_c_identity(self):
+        rng = np.random.default_rng(42)
+        a = rng.integers(-1000, 1000, size=500)
+        b = rng.integers(1, 50, size=500) * rng.choice([-1, 1], size=500)
+        q = c_div(a, b)
+        r = c_mod(a, b)
+        np.testing.assert_array_equal(q * b + r, a)
+        # remainder has the sign of the dividend (or is zero)
+        assert ((r == 0) | (np.sign(r) == np.sign(a))).all()
+
+    def test_float_division_is_true_division(self):
+        assert c_div(np.float64(7.0), np.float64(2.0)) == 3.5
+
+    def test_paper_filter_formula(self):
+        # out = tmp/6 - tmp%6 with C semantics (paper Figure 5)
+        tmp = np.arange(0, 256 * 6, dtype=np.int64)
+        out = c_div(tmp, 6) - c_mod(tmp, 6)
+        expected = tmp // 6 - tmp % 6  # positive operands: same as Python
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestNodeValidation:
+    def test_const_rejects_bool_and_str(self):
+        with pytest.raises(IRError):
+            Const(True)
+        with pytest.raises(IRError):
+            Const("x")
+
+    def test_threadidx_rejects_negative(self):
+        with pytest.raises(IRError):
+            ThreadIdx(-1)
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(IRError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_binop_rejects_non_expr(self):
+        with pytest.raises(IRError):
+            BinOp("+", Const(1), 2)
+
+    def test_unop_rejects_unknown_op(self):
+        with pytest.raises(IRError):
+            UnOp("sqrt", Const(1))
+
+    def test_read_requires_expr_indices(self):
+        with pytest.raises(IRError):
+            Read("a", (0,))
+
+    def test_expressions_are_hashable_values(self):
+        a = BinOp("+", ThreadIdx(0), Const(1))
+        b = BinOp("+", ThreadIdx(0), Const(1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestWalk:
+    def test_walk_covers_all_nodes(self):
+        e = Select(
+            BinOp("<", ThreadIdx(0), Const(4)),
+            Read("a", (ThreadIdx(0), BinOp("+", LocalRef("j"), Const(1)))),
+            UnOp("-", Const(9)),
+        )
+        nodes = list(walk(e))
+        assert sum(isinstance(n, Const) for n in nodes) == 3
+        assert sum(isinstance(n, ThreadIdx) for n in nodes) == 2
+        assert sum(isinstance(n, Read) for n in nodes) == 1
+        assert sum(isinstance(n, LocalRef) for n in nodes) == 1

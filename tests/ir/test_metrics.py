@@ -1,0 +1,191 @@
+"""Unit tests for kernel access probing (coalescing metrics)."""
+
+import pytest
+
+from repro.ir import (
+    ArrayParam,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    IndexSpace,
+    Kernel,
+    LocalRef,
+    Read,
+    Store,
+    ThreadIdx,
+    probe_access_profile,
+    unique_access_bytes,
+)
+
+
+def make(body, arrays, space):
+    return Kernel(name="k", space=space, arrays=tuple(arrays), body=tuple(body))
+
+
+def test_unit_stride_copy():
+    k = make(
+        body=[
+            Store(
+                "dst", (ThreadIdx(0), ThreadIdx(1)), Read("src", (ThreadIdx(0), ThreadIdx(1)))
+            )
+        ],
+        arrays=[
+            ArrayParam("src", (4, 8), intent="in"),
+            ArrayParam("dst", (4, 8), intent="out"),
+        ],
+        space=IndexSpace((0, 0), (4, 8)),
+    )
+    p = probe_access_profile(k)
+    assert p.read_strides == (1,)
+    assert p.write_strides == (1,)
+    assert p.items == 32
+    assert p.reads_per_item == 1
+    assert p.writes_per_item == 1
+
+
+def test_column_access_has_row_stride():
+    # transpose-like: adjacent threads (along dim 1) read a column
+    k = make(
+        body=[
+            Store(
+                "dst", (ThreadIdx(0), ThreadIdx(1)), Read("src", (ThreadIdx(1), ThreadIdx(0)))
+            )
+        ],
+        arrays=[
+            ArrayParam("src", (8, 8), intent="in"),
+            ArrayParam("dst", (8, 8), intent="out"),
+        ],
+        space=IndexSpace((0, 0), (8, 8)),
+    )
+    p = probe_access_profile(k)
+    assert p.read_strides == (8,)  # row stride of src
+    assert p.write_strides == (1,)
+
+
+def test_strided_generator_scales_stride():
+    # iv1 runs with step 3 (a folded non-generic output tiler generator)
+    k = make(
+        body=[
+            Store("dst", (ThreadIdx(0), ThreadIdx(1)), Read("src", (ThreadIdx(0), ThreadIdx(1))))
+        ],
+        arrays=[
+            ArrayParam("src", (4, 12), intent="in"),
+            ArrayParam("dst", (4, 12), intent="out"),
+        ],
+        space=IndexSpace((0, 0), (4, 12), (1, 3)),
+    )
+    p = probe_access_profile(k)
+    assert p.read_strides == (3,)
+    assert p.write_strides == (3,)
+
+
+def test_loop_reads_counted_per_trip():
+    k = make(
+        body=[
+            Assign("acc", Const(0)),
+            For(
+                "t",
+                0,
+                4,
+                [
+                    Assign(
+                        "acc",
+                        BinOp(
+                            "+", LocalRef("acc"), Read("src", (ThreadIdx(0), LocalRef("t")))
+                        ),
+                    )
+                ],
+            ),
+            Store("dst", (ThreadIdx(0),), LocalRef("acc")),
+        ],
+        arrays=[
+            ArrayParam("src", (4, 8), intent="in"),
+            ArrayParam("dst", (4,), intent="out"),
+        ],
+        space=IndexSpace((0,), (4,)),
+    )
+    p = probe_access_profile(k)
+    assert len(p.read_strides) == 4  # one dynamic read per trip
+    assert all(s == 8 for s in p.read_strides)  # adjacent threads: next row
+    assert p.reads_per_item == 4
+
+
+def test_single_point_space_reports_zero_strides():
+    k = make(
+        body=[Store("dst", (Const(0),), Read("src", (Const(0),)))],
+        arrays=[
+            ArrayParam("src", (4,), intent="in"),
+            ArrayParam("dst", (4,), intent="out"),
+        ],
+        space=IndexSpace((0,), (1,)),
+    )
+    p = probe_access_profile(k)
+    assert p.read_strides == (0,)
+    assert p.write_strides == (0,)
+
+
+class TestUniqueBytes:
+    def test_disjoint_copy_touches_everything_once(self):
+        k = make(
+            body=[
+                Store(
+                    "dst",
+                    (ThreadIdx(0), ThreadIdx(1)),
+                    Read("src", (ThreadIdx(0), ThreadIdx(1))),
+                )
+            ],
+            arrays=[
+                ArrayParam("src", (4, 8), intent="in"),
+                ArrayParam("dst", (4, 8), intent="out"),
+            ],
+            space=IndexSpace((0, 0), (4, 8)),
+        )
+        r, w = unique_access_bytes(k)
+        assert r == 4 * 8 * 4
+        assert w == 4 * 8 * 4
+
+    def test_overlapping_windows_counted_once(self):
+        # each thread reads a 4-wide window at stride 1: unique = extent + 3
+        k = make(
+            body=[
+                Assign("acc", Const(0)),
+                For(
+                    "t",
+                    0,
+                    4,
+                    [
+                        Assign(
+                            "acc",
+                            BinOp(
+                                "+",
+                                LocalRef("acc"),
+                                Read("src", (BinOp("+", ThreadIdx(0), LocalRef("t")),)),
+                            ),
+                        )
+                    ],
+                ),
+                Store("dst", (ThreadIdx(0),), LocalRef("acc")),
+            ],
+            arrays=[
+                ArrayParam("src", (11,), intent="in"),
+                ArrayParam("dst", (8,), intent="out"),
+            ],
+            space=IndexSpace((0,), (8,)),
+        )
+        r, w = unique_access_bytes(k)
+        assert r == 11 * 4  # positions 0..10, each once
+        assert w == 8 * 4
+
+    def test_subset_space_touches_subset(self):
+        k = make(
+            body=[Store("dst", (ThreadIdx(0),), Read("src", (ThreadIdx(0),)))],
+            arrays=[
+                ArrayParam("src", (16,), intent="in"),
+                ArrayParam("dst", (16,), intent="out"),
+            ],
+            space=IndexSpace((0,), (16,), (4,)),
+        )
+        r, w = unique_access_bytes(k)
+        assert r == 4 * 4
+        assert w == 4 * 4

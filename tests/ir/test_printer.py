@@ -1,0 +1,169 @@
+"""Unit tests for C source emission from the kernel IR."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    ArrayParam,
+    Assign,
+    BinOp,
+    Const,
+    CSourcePrinter,
+    For,
+    IndexSpace,
+    Kernel,
+    LocalRef,
+    ParamRef,
+    Read,
+    Select,
+    Store,
+    ThreadIdx,
+    UnOp,
+    c_dtype,
+)
+
+
+def printer(arrays):
+    k = Kernel(
+        name="k",
+        space=IndexSpace((0, 0), (4, 8)),
+        arrays=tuple(arrays),
+    )
+    return CSourcePrinter(k)
+
+
+def default_printer():
+    return printer(
+        [
+            ArrayParam("in_frame", (1080, 1920), intent="in"),
+            ArrayParam("out_frame", (1080, 720), intent="out"),
+            ArrayParam("vec", (16,), intent="in"),
+        ]
+    )
+
+
+class TestExpressions:
+    def test_constants(self):
+        p = default_printer()
+        assert p.expr(Const(42)) == "42"
+        assert p.expr(Const(2.5)) == "2.5"
+
+    def test_thread_index(self):
+        p = default_printer()
+        assert p.expr(ThreadIdx(0)) == "iv0"
+        assert p.expr(ThreadIdx(1)) == "iv1"
+
+    def test_locals_and_params(self):
+        p = default_printer()
+        assert p.expr(LocalRef("tmp")) == "tmp"
+        assert p.expr(ParamRef("n")) == "n"
+
+    def test_flattened_read_matches_figure11_style(self):
+        # paper Figure 11: in[index0 * 1920 + index1 * 1]
+        p = default_printer()
+        e = Read("in_frame", (LocalRef("index0"), LocalRef("index1")))
+        assert p.expr(e) == "in_frame[(index0) * 1920 + index1]"
+
+    def test_1d_read_has_no_stride(self):
+        p = default_printer()
+        assert p.expr(Read("vec", (ThreadIdx(0),))) == "vec[iv0]"
+
+    def test_precedence_parenthesisation(self):
+        p = default_printer()
+        # (a + b) * 2 must keep parentheses
+        e = BinOp("*", BinOp("+", LocalRef("a"), LocalRef("b")), Const(2))
+        assert p.expr(e) == "(a + b) * 2"
+        # a + b * 2 must not add spurious parentheses
+        e2 = BinOp("+", LocalRef("a"), BinOp("*", LocalRef("b"), Const(2)))
+        assert p.expr(e2) == "a + b * 2"
+
+    def test_left_associative_subtraction(self):
+        p = default_printer()
+        # a - (b - c) needs parentheses around the rhs
+        e = BinOp("-", LocalRef("a"), BinOp("-", LocalRef("b"), LocalRef("c")))
+        assert p.expr(e) == "a - (b - c)"
+
+    def test_min_max_as_calls(self):
+        p = default_printer()
+        assert p.expr(BinOp("min", LocalRef("a"), Const(3))) == "min(a, 3)"
+
+    def test_select_ternary(self):
+        p = default_printer()
+        e = Select(BinOp("<", LocalRef("a"), Const(1)), Const(2), Const(3))
+        assert p.expr(e) == "((a < 1) ? (2) : (3))"
+
+    def test_unary(self):
+        p = default_printer()
+        assert p.expr(UnOp("-", LocalRef("a"))) == "-(a)"
+        assert p.expr(UnOp("abs", LocalRef("a"))) == "abs(a)"
+
+    def test_unknown_array_rejected(self):
+        p = default_printer()
+        with pytest.raises(IRError):
+            p.expr(Read("ghost", (Const(0),)))
+
+    def test_rank_mismatch_rejected(self):
+        p = default_printer()
+        with pytest.raises(IRError):
+            p.expr(Read("in_frame", (Const(0),)))
+
+
+class TestStatements:
+    def test_assign_declares_once(self):
+        p = default_printer()
+        text = p.stmts(
+            [
+                Assign("tmp", Const(0)),
+                Assign("tmp", BinOp("+", LocalRef("tmp"), Const(1))),
+            ]
+        )
+        lines = text.splitlines()
+        assert lines[0].strip() == "int tmp = 0;"
+        assert lines[1].strip() == "tmp = tmp + 1;"
+
+    def test_for_loop(self):
+        p = default_printer()
+        text = p.stmts(
+            [
+                For(
+                    "t",
+                    0,
+                    6,
+                    [
+                        Assign(
+                            "acc",
+                            Read("vec", (LocalRef("t"),)),
+                        )
+                    ],
+                )
+            ]
+        )
+        assert "for (int t = 0; t < 6; t++) {" in text
+        assert "int acc = vec[t];" in text
+        assert text.rstrip().endswith("}")
+
+    def test_store(self):
+        p = default_printer()
+        text = p.stmts(
+            [Store("out_frame", (ThreadIdx(0), ThreadIdx(1)), Const(0))]
+        )
+        assert text.strip() == "out_frame[(iv0) * 720 + iv1] = 0;"
+
+
+class TestCDtype:
+    @pytest.mark.parametrize(
+        "dtype,c",
+        [
+            ("int32", "int"),
+            ("int64", "long long"),
+            ("float32", "float"),
+            ("float64", "double"),
+            ("uint32", "unsigned int"),
+        ],
+    )
+    def test_known(self, dtype, c):
+        assert c_dtype(dtype) == c
+
+    def test_unknown_rejected(self):
+        with pytest.raises(IRError):
+            c_dtype("complex128")

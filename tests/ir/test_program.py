@@ -1,0 +1,232 @@
+"""Unit tests for device programs and program validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    AllocDevice,
+    ArrayParam,
+    BinOp,
+    Const,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    HostWork,
+    IndexSpace,
+    Kernel,
+    LaunchKernel,
+    Read,
+    Store,
+    ThreadIdx,
+    validate_program,
+)
+
+
+def add_one_kernel(shape=(4, 8)):
+    return Kernel(
+        name="add_one",
+        space=IndexSpace((0, 0), shape),
+        arrays=(
+            ArrayParam("src", shape, intent="in"),
+            ArrayParam("dst", shape, intent="out"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                BinOp("+", Read("src", (ThreadIdx(0), ThreadIdx(1))), Const(1)),
+            ),
+        ),
+    )
+
+
+def simple_program():
+    k = add_one_kernel()
+    return DeviceProgram(
+        name="p",
+        ops=(
+            AllocDevice("d_in", (4, 8)),
+            AllocDevice("d_out", (4, 8)),
+            HostToDevice("h_in", "d_in"),
+            LaunchKernel(k, (("src", "d_in"), ("dst", "d_out"))),
+            DeviceToHost("d_out", "h_out"),
+            FreeDevice("d_in"),
+            FreeDevice("d_out"),
+        ),
+        host_inputs=("h_in",),
+        host_outputs=("h_out",),
+    )
+
+
+class TestProgramStructure:
+    def test_counts(self):
+        p = simple_program()
+        assert p.launch_count == 1
+        assert p.h2d_count == 1
+        assert p.d2h_count == 1
+        assert p.host_compute_count == 0
+        assert [k.name for k in p.kernels] == ["add_one"]
+
+    def test_source_lookup(self):
+        p = DeviceProgram("p", (), source_files=(("kernels.cu", "// code"),))
+        assert p.source("kernels.cu") == "// code"
+        with pytest.raises(IRError):
+            p.source("missing.cu")
+
+    def test_launch_requires_all_params_bound(self):
+        k = add_one_kernel()
+        with pytest.raises(IRError, match="unbound"):
+            LaunchKernel(k, (("src", "d_in"),))
+        with pytest.raises(IRError, match="unknown"):
+            LaunchKernel(k, (("src", "d"), ("dst", "d"), ("ghost", "d")))
+
+    def test_buffer_for(self):
+        k = add_one_kernel()
+        launch = LaunchKernel(k, (("src", "a"), ("dst", "b")))
+        assert launch.buffer_for("src") == "a"
+        with pytest.raises(IRError):
+            launch.buffer_for("nope")
+
+    def test_alloc_nbytes(self):
+        assert AllocDevice("d", (10, 10), "int32").nbytes == 400
+        assert AllocDevice("d", (10,), "float64").nbytes == 80
+
+
+class TestValidateProgram:
+    def test_valid_program_passes(self):
+        validate_program(simple_program())
+
+    def test_launch_before_alloc_rejected(self):
+        k = add_one_kernel()
+        p = DeviceProgram(
+            "p",
+            ops=(LaunchKernel(k, (("src", "d_in"), ("dst", "d_out"))),),
+        )
+        with pytest.raises(IRError, match="not allocated"):
+            validate_program(p)
+
+    def test_use_after_free_rejected(self):
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d", (4, 8)),
+                FreeDevice("d"),
+                HostToDevice("h", "d"),
+            ),
+            host_inputs=("h",),
+        )
+        with pytest.raises(IRError, match="after free"):
+            validate_program(p)
+
+    def test_double_alloc_rejected(self):
+        p = DeviceProgram(
+            "p", ops=(AllocDevice("d", (4,)), AllocDevice("d", (4,)))
+        )
+        with pytest.raises(IRError, match="double allocation"):
+            validate_program(p)
+
+    def test_double_free_rejected(self):
+        p = DeviceProgram(
+            "p", ops=(AllocDevice("d", (4,)), FreeDevice("d"), FreeDevice("d"))
+        )
+        with pytest.raises(IRError, match="unallocated"):
+            validate_program(p)
+
+    def test_shape_mismatch_rejected(self):
+        k = add_one_kernel()
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_in", (4, 8)),
+                AllocDevice("d_out", (5, 8)),  # wrong shape
+                HostToDevice("h_in", "d_in"),
+                LaunchKernel(k, (("src", "d_in"), ("dst", "d_out"))),
+            ),
+            host_inputs=("h_in",),
+        )
+        with pytest.raises(IRError, match="shape"):
+            validate_program(p)
+
+    def test_dtype_mismatch_rejected(self):
+        k = add_one_kernel()
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_in", (4, 8), "float32"),
+                AllocDevice("d_out", (4, 8)),
+                HostToDevice("h_in", "d_in"),
+                LaunchKernel(k, (("src", "d_in"), ("dst", "d_out"))),
+            ),
+            host_inputs=("h_in",),
+        )
+        with pytest.raises(IRError, match="dtype"):
+            validate_program(p)
+
+    def test_undefined_host_input_rejected(self):
+        p = DeviceProgram(
+            "p",
+            ops=(AllocDevice("d", (4,)), HostToDevice("mystery", "d")),
+        )
+        with pytest.raises(IRError, match="undefined host array"):
+            validate_program(p)
+
+    def test_missing_output_rejected(self):
+        p = DeviceProgram("p", ops=(), host_outputs=("h_out",))
+        with pytest.raises(IRError, match="never produces"):
+            validate_program(p)
+
+    def test_host_compute_defines_outputs(self):
+        def fn(env):
+            env["h_out"] = env["h_in"] * 2
+
+        p = DeviceProgram(
+            "p",
+            ops=(
+                HostCompute(
+                    "double",
+                    fn,
+                    reads=("h_in",),
+                    writes=("h_out",),
+                    work=HostWork(items=10),
+                ),
+            ),
+            host_inputs=("h_in",),
+            host_outputs=("h_out",),
+        )
+        validate_program(p)
+
+    def test_host_compute_undefined_read_rejected(self):
+        p = DeviceProgram(
+            "p",
+            ops=(
+                HostCompute("bad", lambda env: None, reads=("ghost",), writes=()),
+            ),
+        )
+        with pytest.raises(IRError, match="undefined host array"):
+            validate_program(p)
+
+    def test_store_to_readonly_param_rejected(self):
+        k = Kernel(
+            name="bad",
+            space=IndexSpace((0,), (4,)),
+            arrays=(ArrayParam("a", (4,), intent="in"),),
+            body=(Store("a", (ThreadIdx(0),), Const(0)),),
+        )
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d", (4,)),
+                HostToDevice("h", "d"),
+                LaunchKernel(k, (("a", "d"),)),
+            ),
+            host_inputs=("h",),
+        )
+        with pytest.raises(IRError, match="read-only"):
+            validate_program(p)
+
+    def test_hostwork_rejects_negative_items(self):
+        with pytest.raises(IRError):
+            HostWork(items=-1)

@@ -1,0 +1,46 @@
+"""Tests for the Gantt renderer."""
+
+from repro.gpu.stream import OverlapResult, ScheduledOp
+from repro.report import render_gantt
+
+
+def result(ops, serial=100.0):
+    span = max((o.end_us for o in ops), default=0.0)
+    return OverlapResult(serial_us=serial, overlapped_us=span, schedule=tuple(ops))
+
+
+def test_empty_schedule():
+    assert "(empty schedule)" in render_gantt(result([]))
+
+
+def test_engines_rendered_with_busy_totals():
+    ops = [
+        ScheduledOp("a", "h2d", 0.0, 40.0),
+        ScheduledOp("k", "compute", 40.0, 100.0),
+        ScheduledOp("b", "d2h", 100.0, 110.0),
+    ]
+    text = render_gantt(result(ops, serial=110.0), width=22)
+    assert "h2d" in text and "compute" in text and "d2h" in text
+    assert "40 us busy" in text
+    assert "60 us busy" in text
+    assert "1.00x" in text
+
+
+def test_idle_engines_omitted():
+    ops = [ScheduledOp("k", "compute", 0.0, 50.0)]
+    text = render_gantt(result(ops, serial=50.0))
+    assert "h2d" not in text
+
+
+def test_bars_reflect_intervals():
+    ops = [
+        ScheduledOp("k1", "compute", 0.0, 50.0),
+        ScheduledOp("k2", "compute", 50.0, 100.0),
+        ScheduledOp("t", "h2d", 0.0, 50.0),
+    ]
+    text = render_gantt(result(ops, serial=150.0), width=10)
+    lines = {l.split("|")[0].strip(): l for l in text.splitlines() if "|" in l}
+    compute_bar = lines["compute"].split("|")[1]
+    h2d_bar = lines["h2d"].split("|")[1]
+    assert compute_bar.count("#") == 10  # busy throughout
+    assert h2d_bar.count("#") == 5  # first half only

@@ -1,0 +1,135 @@
+"""Unit tests for the SaC builtin primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SacRuntimeError
+from repro.sac.builtins import BUILTINS, FOLD_FUNS, call_builtin, is_builtin
+
+
+class TestRegistry:
+    def test_known_builtins(self):
+        for name in ("shape", "dim", "MV", "CAT", "min", "max", "abs", "sum",
+                     "prod", "genarray"):
+            assert is_builtin(name)
+
+    def test_unknown(self):
+        assert not is_builtin("frobnicate")
+        with pytest.raises(SacRuntimeError, match="unknown builtin"):
+            call_builtin("frobnicate", [1])
+
+    def test_arity_enforced(self):
+        with pytest.raises(SacRuntimeError, match="expects"):
+            call_builtin("dim", [1, 2])
+
+    def test_fold_funs(self):
+        assert set(FOLD_FUNS) == {"add", "mul", "min", "max"}
+        assert FOLD_FUNS["add"][0](2, 3) == 5
+        assert FOLD_FUNS["mul"][0](2, 3) == 6
+
+
+class TestShapeDim:
+    def test_shape_of_matrix(self):
+        out = call_builtin("shape", [np.zeros((3, 4), np.int32)])
+        np.testing.assert_array_equal(out, [3, 4])
+        assert out.dtype == np.int32
+
+    def test_shape_of_scalar_is_empty(self):
+        assert call_builtin("shape", [5]).shape == (0,)
+
+    def test_dim(self):
+        assert call_builtin("dim", [np.zeros((2, 2, 2))]) == 3
+        assert call_builtin("dim", [7]) == 0
+
+
+class TestMV:
+    def test_square_matrix_uses_row_convention(self):
+        # the paper's tiler convention: v @ m for matching leading dims
+        m = np.array([[1, 0], [0, 8]])
+        v = np.array([2, 3])
+        np.testing.assert_array_equal(call_builtin("MV", [m, v]), [2, 24])
+
+    def test_vector_matrix_figure4_shape(self):
+        # CAT(paving(2x2), fitting(1x2)) -> (3,2); (rep++pat)(3) @ m -> (2,)
+        m = np.array([[1, 0], [0, 8], [0, 1]])
+        v = np.array([5, 2, 3])
+        np.testing.assert_array_equal(call_builtin("MV", [m, v]), [5, 19])
+
+    def test_matrix_vector_standard(self):
+        m = np.array([[1, 2, 3], [4, 5, 6]])
+        v = np.array([1, 0, 1])
+        np.testing.assert_array_equal(call_builtin("MV", [m, v]), [4, 10])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SacRuntimeError, match="mismatch"):
+            call_builtin("MV", [np.zeros((2, 3)), np.zeros(4)])
+
+    def test_rank_checked(self):
+        with pytest.raises(SacRuntimeError, match="matrix"):
+            call_builtin("MV", [np.zeros(3), np.zeros(3)])
+
+
+class TestCAT:
+    def test_vectors(self):
+        np.testing.assert_array_equal(
+            call_builtin("CAT", [np.array([1, 2]), np.array([3])]), [1, 2, 3]
+        )
+
+    def test_matrices_stack_rows(self):
+        a = np.array([[1, 0], [0, 8]])
+        b = np.array([[0, 1]])
+        out = call_builtin("CAT", [a, b])
+        assert out.shape == (3, 2)
+        np.testing.assert_array_equal(out[2], [0, 1])
+
+    def test_scalars_promote_to_vectors(self):
+        np.testing.assert_array_equal(call_builtin("CAT", [1, 2]), [1, 2])
+
+    def test_rank_mismatch(self):
+        with pytest.raises(SacRuntimeError, match="rank"):
+            call_builtin("CAT", [np.zeros((2, 2)), np.zeros(2)])
+
+    def test_trailing_shape_mismatch(self):
+        with pytest.raises(SacRuntimeError, match="trailing"):
+            call_builtin("CAT", [np.zeros((2, 2)), np.zeros((1, 3))])
+
+
+class TestGenarrayCall:
+    def test_int_default(self):
+        out = call_builtin("genarray", [np.array([2, 3]), 7])
+        assert out.shape == (2, 3)
+        assert out.dtype == np.int32
+        assert (out == 7).all()
+
+    def test_single_argument_defaults_to_zero(self):
+        out = call_builtin("genarray", [np.array([4])])
+        np.testing.assert_array_equal(out, [0, 0, 0, 0])
+
+    def test_float_default(self):
+        out = call_builtin("genarray", [np.array([2]), 1.5])
+        assert out.dtype == np.float64
+
+    def test_array_default_extends_shape(self):
+        cell = np.array([1, 2], dtype=np.int32)
+        out = call_builtin("genarray", [np.array([3]), cell])
+        assert out.shape == (3, 2)
+        np.testing.assert_array_equal(out[1], [1, 2])
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(SacRuntimeError, match="negative"):
+            call_builtin("genarray", [np.array([-1]), 0])
+
+
+class TestReductions:
+    def test_sum_prod(self):
+        assert call_builtin("sum", [np.array([1, 2, 3])]) == 6
+        assert call_builtin("prod", [np.array([2, 3, 4])]) == 24
+
+    def test_minmax_abs_scalars(self):
+        assert call_builtin("min", [3, 5]) == 3
+        assert call_builtin("max", [3, 5]) == 5
+        assert call_builtin("abs", [-4]) == 4
+
+    def test_elementwise_minmax(self):
+        out = call_builtin("min", [np.array([1, 9]), np.array([5, 2])])
+        np.testing.assert_array_equal(out, [1, 2])

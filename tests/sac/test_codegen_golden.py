@@ -1,0 +1,149 @@
+"""Golden tests for the emitted CUDA and OpenCL sources.
+
+The texts are the observable artefacts the paper's compilers produce
+(Figure 11 shows Gaspard2's generated tiler code); these tests pin their
+shape so regressions in the printers or backends are caught exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.downscaler.config import FrameSize, horizontal_filter
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.backend.cudagen import cuda_kernel_source
+from repro.sac.parser import parse
+
+TINY = FrameSize(rows=18, cols=16, name="tiny")
+
+
+def test_cuda_kernel_golden_simple():
+    src = """
+    int[8] scale(int[8] a) {
+      b = with { (. <= iv <= .) : a[iv] * 2; } : genarray([8]);
+      return( b);
+    }
+    """
+    cf = compile_function(parse(src), "scale")
+    [kernel] = cf.program.kernels
+    text = cuda_kernel_source(kernel)
+    assert text == (
+        "// b generator 0\n"
+        f"__global__ void {kernel.name}(const int* a, int* b)\n"
+        "{\n"
+        "    int t0 = blockIdx.x * blockDim.x + threadIdx.x;\n"
+        "    if (t0 >= 8) return;\n"
+        "    int iv0 = t0;\n"
+        "    b[iv0] = a[iv0] * 2;\n"
+        "}"
+    )
+
+
+def test_cuda_2d_kernel_guard_and_strides():
+    src = """
+    int[4,6] f(int[4,6] a) {
+      b = with { (. <= iv <= .) : a[iv] + 1; } : genarray([4,6]);
+      return( b);
+    }
+    """
+    cf = compile_function(parse(src), "f")
+    [kernel] = cf.program.kernels
+    text = cuda_kernel_source(kernel)
+    assert "int t1 = blockIdx.x * blockDim.x + threadIdx.x;" in text
+    assert "int t0 = blockIdx.y * blockDim.y + threadIdx.y;" in text
+    assert "if (t0 >= 4 || t1 >= 6) return;" in text
+    # row-major flattened addressing with the row stride
+    assert "a[(iv0) * 6 + iv1]" in text
+
+
+def test_cuda_strided_generator_scales_iv():
+    src = """
+    int[9] f(int[9] a) {
+      canvas = genarray([9], 0);
+      b = with {
+        ([1] <= iv < [9] step [3]) : a[iv];
+        ([0] <= iv < [9] step [3]) : 0;
+        ([2] <= iv < [9] step [3]) : 1;
+      } : modarray(canvas);
+      return( b);
+    }
+    """
+    cf = compile_function(parse(src), "f")
+    texts = [cuda_kernel_source(k) for k in cf.program.kernels]
+    assert any("int iv0 = 1 + t0 * 3;" in t for t in texts)
+    assert any("int iv0 = t0 * 3;" in t for t in texts)
+
+
+def test_cuda_host_driver_mirrors_ops():
+    from repro.apps.downscaler.sac_sources import NONGENERIC, downscaler_program_source
+
+    prog = parse(downscaler_program_source(TINY, NONGENERIC))
+    cf = compile_function(prog, "downscale", CompileOptions(target="cuda"))
+    host = cf.program.source("host.cu")
+    # allocations, both transfer directions, launches, frees — in order
+    assert host.index("cudaMalloc") < host.index("cudaMemcpyHtoD".replace("cudaMemcpyHtoD", "cudaMemcpyHostToDevice"))
+    assert host.index("cudaMemcpyHostToDevice") < host.index("<<<")
+    assert host.index("<<<") < host.index("cudaMemcpyDeviceToHost")
+    assert host.rstrip().endswith("}")
+    assert host.count("cudaFree") == len(
+        [l for l in host.splitlines() if "cudaMalloc" in l]
+    )
+
+
+def test_opencl_kernel_golden():
+    from repro.apps.downscaler.arrayol_model import filter_repetitive_task
+    from repro.arrayol.backend import kernel_for_repetitive, opencl_kernel_source
+
+    config = horizontal_filter(TINY)
+    task = filter_repetitive_task(config, "hf")
+    kernel = kernel_for_repetitive(task, "rhf", {"fin": "in_r", "fout": "out_r"})
+    text = opencl_kernel_source(kernel)
+    lines = text.splitlines()
+    assert lines[0] == "// repetitive task hf"
+    assert lines[1] == (
+        "__kernel void rhf(__global const int* in_r, __global int* out_r)"
+    )
+    assert "int iGID = get_global_id(0);" in text
+    assert f"if (iGID >= {kernel.space.size}) return;" in text
+    # Figure 11 shape: the modular tiler addressing is inlined
+    assert "% 16" in text  # input frame columns
+    assert "% 18" in text  # rows
+    # the task's shared tmp locals (Figure 5)
+    assert "int tmp0 =" in text
+    assert "tmp0 / 6 - tmp0 % 6" in text
+
+
+def test_opencl_file_header_and_count():
+    from repro.arrayol.backend import opencl_source
+    from repro.apps.downscaler.arrayol_model import downscaler_allocation, downscaler_model
+    from repro.arrayol.transform import GaspardContext, standard_chain
+
+    ctx = GaspardContext(
+        model=downscaler_model(TINY), allocation=downscaler_allocation()
+    )
+    standard_chain().run(ctx)
+    text = ctx.program.source("kernels.cl")
+    assert text.startswith("/*")
+    assert "application model: Downscaler" in text
+    assert text.count("__kernel void") == 6
+
+
+def test_emitted_cuda_matches_simulated_semantics():
+    """The printed CUDA's arithmetic is the same IR the simulator ran —
+    spot-check by parsing the body expression back out."""
+    src = """
+    int[8] f(int[8] a) {
+      b = with { (. <= iv <= .) : (a[iv] * 3) / 2 - a[iv] % 5; } : genarray([8]);
+      return( b);
+    }
+    """
+    cf = compile_function(parse(src), "f")
+    [kernel] = cf.program.kernels
+    text = cuda_kernel_source(kernel)
+    assert "a[iv0] * 3 / 2 - a[iv0] % 5" in text
+    from repro.gpu import CostModel, GPUExecutor, UNCALIBRATED
+
+    a = np.arange(8, dtype=np.int32)
+    res = GPUExecutor(CostModel(UNCALIBRATED)).run(cf.program, {"a": a})
+    np.testing.assert_array_equal(
+        res.outputs[cf.program.host_outputs[0]], a * 3 // 2 - a % 5
+    )

@@ -1,0 +1,113 @@
+"""End-to-end tests for floating-point (double) programs.
+
+``double`` maps to float64 on both the interpreter and the simulated
+device, so results agree exactly; ``float`` (float32 buffers) is supported
+by the backend but interpreter comparisons are approximate (the reference
+interpreter computes scalar floats at double precision).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu import CPUExecutor
+from repro.gpu import CostModel, GPUExecutor, UNCALIBRATED
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.interp import Interpreter
+from repro.sac.parser import parse
+
+SMOOTH = """
+double[32] smooth(double[32] a) {
+  b = with {
+    (. <= iv <= .) {
+      left = a[(iv[0] + 31) % 32];
+      right = a[(iv[0] + 1) % 32];
+    } : (left + a[iv] + right) / 3.0;
+  } : genarray([32]);
+  return( b);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def signal():
+    rng = np.random.default_rng(17)
+    return rng.normal(size=32).astype(np.float64)
+
+
+class TestDoublePipeline:
+    def test_interpreter(self, signal):
+        out = Interpreter(parse(SMOOTH)).call("smooth", [signal])
+        expected = (np.roll(signal, 1) + signal + np.roll(signal, -1)) / 3.0
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_cuda_buffers_are_float64(self, signal):
+        cf = compile_function(parse(SMOOTH), "smooth")
+        from repro.ir.program import AllocDevice
+
+        allocs = {op.buffer: op.dtype for op in cf.program.ops
+                  if isinstance(op, AllocDevice)}
+        assert allocs["d_a"] == "float64"
+        assert all(d == "float64" for d in allocs.values())
+        for k in cf.program.kernels:
+            assert all(a.dtype == "float64" for a in k.arrays)
+
+    def test_cuda_matches_interpreter(self, signal):
+        prog = parse(SMOOTH)
+        expected = Interpreter(prog).call("smooth", [signal])
+        cf = compile_function(prog, "smooth")
+        res = GPUExecutor(CostModel(UNCALIBRATED)).run(cf.program, {"a": signal})
+        np.testing.assert_allclose(
+            res.outputs[cf.program.host_outputs[0]], expected, rtol=1e-12
+        )
+
+    def test_seq_matches_interpreter(self, signal):
+        prog = parse(SMOOTH)
+        expected = Interpreter(prog).call("smooth", [signal])
+        cf = compile_function(prog, "smooth", CompileOptions(target="seq"))
+        res = CPUExecutor(CostModel(UNCALIBRATED)).run(cf.program, {"a": signal})
+        np.testing.assert_allclose(
+            res.outputs[cf.program.host_outputs[0]], expected, rtol=1e-12
+        )
+
+    def test_emitted_cuda_uses_double(self):
+        cf = compile_function(parse(SMOOTH), "smooth")
+        cu = cf.program.source("kernels.cu")
+        assert "const double* a" in cu
+        assert "double* b" in cu
+
+    def test_true_division_for_floats(self, signal):
+        """`/` is true division on floats (C semantics), not truncation."""
+        prog = parse(SMOOTH)
+        out = Interpreter(prog).call("smooth", [np.ones(32)])
+        np.testing.assert_allclose(out, np.ones(32), rtol=1e-12)
+
+
+class TestMixedPromotion:
+    SRC = """
+    double[8] mix(int[8] counts, double[8] weights) {
+      b = with { (. <= iv <= .) : counts[iv] * weights[iv] + 0.5; }
+        : genarray([8]);
+      return( b);
+    }
+    """
+
+    def test_result_promotes_to_float64(self):
+        cf = compile_function(parse(self.SRC), "mix")
+        [k] = cf.program.kernels
+        assert k.array("counts").dtype == "int32"
+        assert k.array("weights").dtype == "float64"
+        assert k.array("b").dtype == "float64"
+
+    def test_functional(self):
+        prog = parse(self.SRC)
+        counts = np.arange(8, dtype=np.int32)
+        weights = np.linspace(0.0, 1.0, 8)
+        expected = Interpreter(prog).call("mix", [counts, weights])
+        cf = compile_function(prog, "mix")
+        res = GPUExecutor(CostModel(UNCALIBRATED)).run(
+            cf.program, {"counts": counts, "weights": weights}
+        )
+        np.testing.assert_allclose(
+            res.outputs[cf.program.host_outputs[0]], expected, rtol=1e-12
+        )
+        np.testing.assert_allclose(expected, counts * weights + 0.5, rtol=1e-12)

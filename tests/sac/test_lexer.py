@@ -1,0 +1,83 @@
+"""Unit tests for the SaC lexer."""
+
+import pytest
+
+from repro.errors import SacSyntaxError
+from repro.sac.lexer import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]  # drop eof
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_integers_and_floats(self):
+        assert kinds("42 3.14 1e3 2.5e-2") == [
+            ("int", "42"),
+            ("float", "3.14"),
+            ("float", "1e3"),
+            ("float", "2.5e-2"),
+        ]
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("with foo genarray _x int2") == [
+            ("kw", "with"),
+            ("id", "foo"),
+            ("kw", "genarray"),
+            ("id", "_x"),
+            ("id", "int2"),
+        ]
+
+    def test_multichar_operators(self):
+        assert [t for _, t in kinds("++ <= >= == != && ||")] == [
+            "++", "<=", ">=", "==", "!=", "&&", "||",
+        ]
+
+    def test_plus_plus_not_two_plus(self):
+        assert kinds("a++b") == [("id", "a"), ("op", "++"), ("id", "b")]
+
+    def test_comments_skipped(self):
+        src = "a // line comment\n/* block\ncomment */ b"
+        assert kinds(src) == [("id", "a"), ("id", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SacSyntaxError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(SacSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  bb\n c")
+        assert (toks[0].loc.line, toks[0].loc.column) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.column) == (2, 3)
+        assert (toks[2].loc.line, toks[2].loc.column) == (3, 2)
+
+    def test_filename_recorded(self):
+        toks = tokenize("x", filename="f.sac")
+        assert toks[0].loc.filename == "f.sac"
+
+
+class TestDotDisambiguation:
+    def test_dot_bound_is_operator(self):
+        # "(. <= x" : the dot must not merge with anything
+        assert kinds("(. <= x") == [
+            ("op", "("),
+            ("op", "."),
+            ("op", "<="),
+            ("id", "x"),
+        ]
+
+    def test_member_style_dot_after_identifier(self):
+        assert kinds("a.5")[:2] == [("id", "a"), ("op", ".")]
+
+    def test_float_after_paren(self):
+        assert kinds("(.5)") == [("op", "("), ("float", ".5"), ("op", ")")]

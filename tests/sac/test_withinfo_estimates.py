@@ -1,0 +1,145 @@
+"""Unit tests for static WITH-loop analysis and host work estimation."""
+
+import pytest
+
+from repro.sac import ast
+from repro.sac.backend.estimates import estimate_ops, expr_ops, loop_trips
+from repro.sac.opt import fold_function
+from repro.sac.opt.withinfo import (
+    StaticRange,
+    const_int_vector,
+    generators_cover_frame,
+    is_full_coverage_single_generator,
+    static_frame_shape,
+    static_generator_range,
+)
+from repro.sac.parser import parse, parse_expression
+
+
+def with_loop(src: str) -> ast.WithLoop:
+    prog = parse(f"int[*] f() {{ x = {src}; return x; }}")
+    f = fold_function(prog.function("f"))
+    return f.body[0].value
+
+
+class TestConstVector:
+    def test_literal_vector(self):
+        assert const_int_vector(parse_expression("[1, 2, 3]")) == (1, 2, 3)
+
+    def test_scalar_literal(self):
+        assert const_int_vector(parse_expression("5")) == (5,)
+
+    def test_negative_components(self):
+        assert const_int_vector(parse_expression("[-1, 2]")) == (-1, 2)
+
+    def test_symbolic_rejected(self):
+        assert const_int_vector(parse_expression("[n, 2]")) is None
+
+
+class TestStaticRange:
+    def test_dense_range(self):
+        wl = with_loop("with { ([0] <= iv < [8]) : 1; } : genarray([8])")
+        rng = static_generator_range(wl.generators[0], (8,))
+        assert rng == StaticRange(lower=(0,), upper=(8,), step=(1,), width=(1,))
+        assert rng.is_dense()
+        assert rng.points() == 8
+
+    def test_inclusive_bounds_converted(self):
+        wl = with_loop("with { ([1] <= iv <= [6]) : 1; } : genarray([8], 0)")
+        rng = static_generator_range(wl.generators[0], (8,))
+        assert rng.lower == (1,)
+        assert rng.upper == (7,)
+
+    def test_step_and_width_points(self):
+        wl = with_loop(
+            "with { ([0] <= iv < [10] step [4] width [2]) : 1; } : genarray([10], 0)"
+        )
+        rng = static_generator_range(wl.generators[0], (10,))
+        assert rng.points() == 6  # 0,1, 4,5, 8,9
+        mask = rng.point_mask((10,))
+        assert mask.tolist() == [True, True, False, False, True, True,
+                                 False, False, True, True]
+
+    def test_frame_shape(self):
+        wl = with_loop("with { (. <= iv <= .) : 1; } : genarray([4, 6])")
+        assert static_frame_shape(wl) == (4, 6)
+
+    def test_modarray_needs_env_shape(self):
+        prog = parse(
+            "int[*] f(int[4] a) { x = with { (. <= iv <= .) : 1; } "
+            ": modarray(a); return x; }"
+        )
+        f = fold_function(prog.function("f"))
+        wl = f.body[0].value
+        assert static_frame_shape(wl) is None
+        assert static_frame_shape(wl, (4,)) == (4,)
+
+
+class TestCoverage:
+    def test_full_single_generator(self):
+        wl = with_loop("with { (. <= iv <= .) : 1; } : genarray([8])")
+        assert is_full_coverage_single_generator(wl)
+
+    def test_partial_not_full(self):
+        wl = with_loop("with { ([1] <= iv < [7]) : 1; } : genarray([8], 0)")
+        assert not is_full_coverage_single_generator(wl)
+
+    def test_strided_not_full(self):
+        wl = with_loop(
+            "with { ([0] <= iv < [8] step [2]) : 1; } : genarray([8], 0)"
+        )
+        assert not is_full_coverage_single_generator(wl)
+
+    def test_multi_generator_union_covers(self):
+        wl = with_loop(
+            "with { ([0] <= iv < [8] step [2]) : 1; "
+            "([1] <= iv < [8] step [2]) : 2; } : genarray([8])"
+        )
+        assert generators_cover_frame(wl, (8,)) is True
+        assert not is_full_coverage_single_generator(wl)
+
+    def test_union_gap_detected(self):
+        wl = with_loop(
+            "with { ([0] <= iv < [8] step [3]) : 1; "
+            "([1] <= iv < [8] step [3]) : 2; } : genarray([8], 0)"
+        )
+        assert generators_cover_frame(wl, (8,)) is False
+
+
+class TestEstimates:
+    def test_expr_ops_counts_operations_only(self):
+        # literals/vars free; +, *, selection are ops
+        assert expr_ops(parse_expression("1 + 2 * 3")) == 2
+        assert expr_ops(parse_expression("a")) == 0
+        assert expr_ops(parse_expression("a[i]")) == 1
+        assert expr_ops(parse_expression("f(a, b)")) == 1
+
+    def test_loop_trips(self):
+        prog = parse(
+            "int f() { s = 0; for (i = 0; i < 10; i = i + 2) { s = s + 1; } return s; }"
+        )
+        loop = prog.function("f").body[1]
+        assert loop_trips(loop) == 5
+
+    def test_estimate_scales_by_trip_count(self):
+        prog = parse(
+            "int f(int[100] a) { s = 0; for (i = 0; i < 100; i++) "
+            "{ s = s + a[i]; } return s; }"
+        )
+        body = prog.function("f").body
+        total = estimate_ops(body)
+        # ~100 iterations x (read + add + cond + increment) plus setup
+        assert 300 <= total <= 600
+
+    def test_nested_loops_multiply(self):
+        prog = parse(
+            "int f(int[4,5] a) { s = 0; for (i = 0; i < 4; i++) { "
+            "for (j = 0; j < 5; j++) { s = s + a[[i, j]]; } } return s; }"
+        )
+        shallow = parse(
+            "int f(int[4,5] a) { s = 0; for (i = 0; i < 4; i++) { "
+            "s = s + a[[i, 0]]; } return s; }"
+        )
+        assert estimate_ops(prog.function("f").body) > 3 * estimate_ops(
+            shallow.function("f").body
+        )

@@ -1,0 +1,207 @@
+"""Focused unit tests for WITH-loop folding."""
+
+import numpy as np
+import pytest
+
+from repro.sac import ast
+from repro.sac.interp import Interpreter
+from repro.sac.opt import (
+    OptimisationFlags,
+    count_withloops,
+    optimize_program,
+)
+from repro.sac.parser import parse
+
+
+def optimized(src, entry="main", flags=OptimisationFlags()):
+    prog = parse(src)
+    return prog, optimize_program(prog, entry=entry, flags=flags)
+
+
+def equal_semantics(prog, opt, fun="main", args=None):
+    a = Interpreter(prog).call(fun, args or [])
+    b = Interpreter(opt).call(fun, args or [])
+    np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+
+class TestBasicFolding:
+    def test_elementwise_chain_fuses(self):
+        src = """
+        int[.] main(int[8] a) {
+          b = with { (. <= iv <= .) : a[iv] * 2; } : genarray([8]);
+          c = with { (. <= iv <= .) : b[iv] + 1; } : genarray([8]);
+          return c;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 1
+        equal_semantics(prog, opt, args=[np.arange(8, dtype=np.int32)])
+
+    def test_three_stage_chain(self):
+        src = """
+        int[.] main(int[8] a) {
+          b = with { (. <= iv <= .) : a[iv] * 2; } : genarray([8]);
+          c = with { (. <= iv <= .) : b[iv] + 1; } : genarray([8]);
+          d = with { (. <= iv <= .) : c[iv] * c[iv]; } : genarray([8]);
+          return d;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 1
+        equal_semantics(prog, opt, args=[np.arange(8, dtype=np.int32)])
+
+    def test_index_shift_fuses(self):
+        src = """
+        int[.] main(int[8] a) {
+          b = with { (. <= iv <= .) : a[iv] + 10; } : genarray([8]);
+          c = with { (. <= iv <= .) : b[(iv[0] + 1) % 8]; } : genarray([8]);
+          return c;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 1
+        equal_semantics(prog, opt, args=[np.arange(8, dtype=np.int32)])
+
+    def test_rank_changing_fold(self):
+        # producer of 2-D cells consumed elementwise
+        src = """
+        int[.,.] main(int[4] a) {
+          b = with { (. <= iv <= .) : [a[iv], a[iv] * 2]; } : genarray([4]);
+          c = with { (. <= [i,j] <= .) : b[[i, j]] + 100; } : genarray([4, 2]);
+          return c;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 1
+        equal_semantics(prog, opt, args=[np.arange(4, dtype=np.int32)])
+
+    def test_producer_body_statements_spliced(self):
+        src = """
+        int[.] main(int[8] a) {
+          b = with { (. <= iv <= .) { t = a[iv] * 3; u = t + 1; } : u; } : genarray([8]);
+          c = with { (. <= iv <= .) : b[iv] - 1; } : genarray([8]);
+          return c;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 1
+        equal_semantics(prog, opt, args=[np.arange(8, dtype=np.int32)])
+
+
+class TestFoldingBlockers:
+    def test_multi_generator_producer_not_folded(self):
+        """The paper's reason an upstream modarray output tiler blocks
+        fusion across filters: producers need a single dense generator."""
+        src = """
+        int[.] main(int[8] a) {
+          b = with {
+            ([0] <= iv < [8] step [2]) : a[iv];
+            ([1] <= iv < [8] step [2]) : a[iv] * 2;
+          } : genarray([8]);
+          c = with { (. <= iv <= .) : b[iv] + 1; } : genarray([8]);
+          return c;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 2
+        equal_semantics(prog, opt, args=[np.arange(8, dtype=np.int32)])
+
+    def test_partial_coverage_producer_not_folded(self):
+        src = """
+        int[.] main(int[8] a) {
+          b = with { ([2] <= iv < [6]) : a[iv]; } : genarray([8], 0);
+          c = with { (. <= iv <= .) : b[iv] + 1; } : genarray([8]);
+          return c;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 2
+        equal_semantics(prog, opt, args=[np.arange(8, dtype=np.int32)])
+
+    def test_use_inside_for_loop_not_folded(self):
+        """WLF 'does not attempt to fuse program constructs other than
+        WITH-loops' (the generic output tiler)."""
+        src = """
+        int main(int[8] a) {
+          b = with { (. <= iv <= .) : a[iv] * 2; } : genarray([8]);
+          s = 0;
+          for (i = 0; i < 8; i++) { s = s + b[i]; }
+          return s;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 1  # producer remains
+        equal_semantics(prog, opt, args=[np.arange(8, dtype=np.int32)])
+
+    def test_whole_array_use_not_folded(self):
+        # 128 elements: beyond the partial evaluator's small-vector
+        # unrolling threshold, so the concatenation keeps the producer alive
+        src = """
+        int[.] main(int[128] a) {
+          b = with { (. <= iv <= .) : a[iv] * 2; } : genarray([128]);
+          c = b ++ [0];
+          return c;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 1
+        equal_semantics(prog, opt, args=[np.arange(128, dtype=np.int32)])
+
+    def test_whole_small_array_use_may_unroll(self):
+        """Small arrays may legitimately unroll element-wise instead."""
+        src = """
+        int[.] main(int[8] a) {
+          b = with { (. <= iv <= .) : a[iv] * 2; } : genarray([8]);
+          c = b ++ [0];
+          return c;
+        }
+        """
+        prog, opt = optimized(src)
+        equal_semantics(prog, opt, args=[np.arange(8, dtype=np.int32)])
+
+    def test_modarray_consumer_folds_genarray_producer(self):
+        src = """
+        int[.] main(int[9] a) {
+          b = with { (. <= iv <= .) : a[iv] + 5; } : genarray([9]);
+          out = genarray([9], 0);
+          out = with {
+            ([0] <= iv < [9] step [3]) : b[iv];
+            ([1] <= iv < [9] step [3]) : b[iv] * 2;
+            ([2] <= iv < [9] step [3]) : b[iv] * 3;
+          } : modarray(out);
+          return out;
+        }
+        """
+        prog, opt = optimized(src)
+        assert count_withloops(opt.function("main")) == 1
+        equal_semantics(prog, opt, args=[np.arange(9, dtype=np.int32)])
+
+
+class TestDownscalerShape:
+    def test_downscaler_fuses_to_figure8_shape(self):
+        from repro.apps.downscaler import NONGENERIC, downscaler_program_source
+        from repro.apps.downscaler.config import FrameSize
+
+        size = FrameSize(rows=18, cols=16, name="tiny")
+        prog = parse(downscaler_program_source(size, NONGENERIC))
+        opt = optimize_program(prog, entry="downscale")
+        fun = opt.function("downscale")
+        assert count_withloops(fun) == 2
+        wls = [
+            s.value
+            for s in fun.body
+            if isinstance(s, ast.Assign) and isinstance(s.value, ast.WithLoop)
+        ]
+        assert len(wls[0].generators) == 3  # horizontal (Figure 8 bulk)
+        assert len(wls[1].generators) == 4  # vertical
+        # every generator reads the frame directly (intermediates folded away)
+        from repro.sac.opt.rewrite import free_vars_expr
+
+        for wl in wls:
+            for g in wl.generators:
+                reads = set()
+                for s in g.body:
+                    reads |= free_vars_expr(s.value)
+                assert any(name == "frame" or name == "h" for name in reads) or (
+                    free_vars_expr(g.expr)
+                )

@@ -1,0 +1,57 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_downscale_sac(capsys):
+    assert main(["downscale", "--size", "cif"]) == 0
+    out = capsys.readouterr().out
+    assert "kernels:" in out
+    assert "output" in out
+    assert "(128, 132)" in out  # the paper's CIF result size
+
+
+def test_downscale_gaspard(capsys):
+    assert main(["downscale", "--size", "cif", "--route", "gaspard"]) == 0
+    out = capsys.readouterr().out
+    assert "out_r" in out
+
+
+def test_gaspard_chain_with_emit(capsys):
+    assert main(["gaspard", "--size", "cif", "--emit"]) == 0
+    out = capsys.readouterr().out
+    assert "transformation chain trace" in out
+    assert "__kernel void" in out
+
+
+def test_compile_sac_file(tmp_path, capsys):
+    src = tmp_path / "prog.sac"
+    src.write_text(
+        "int[8] f(int[8] a) { b = with { (. <= iv <= .) : a[iv] * 2; } "
+        ": genarray([8]); return b; }"
+    )
+    assert main(["compile-sac", str(src), "--entry", "f", "--emit"]) == 0
+    out = capsys.readouterr().out
+    assert "kernels: 1" in out
+    assert "__global__" in out
+
+
+def test_experiment_claims_small(capsys):
+    assert main(["experiment", "claims", "--frames", "2", "--size", "cif"]) == 0
+    out = capsys.readouterr().out
+    assert "generic_over_nongeneric_h" in out
+
+
+def test_experiment_table1_small(capsys):
+    assert main(["experiment", "table1", "--frames", "2", "--size", "cif"]) == 0
+    out = capsys.readouterr().out
+    assert "H. Filter (3 kernels)" in out
+    assert "memcpyHtoDasync" in out
+    assert "paper values scaled" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

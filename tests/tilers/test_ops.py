@@ -1,0 +1,114 @@
+"""Unit tests for vectorised tiler gather/scatter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TilerError
+from repro.tilers import Tiler, flat_element_indices, gather, scatter, scatter_into_zeros
+
+
+def row_tiler(rows=4, cols=16, step=8, pattern=8):
+    return Tiler(
+        origin=(0, 0),
+        fitting=((0,), (1,)),
+        paving=((1, 0), (0, step)),
+        array_shape=(rows, cols),
+        pattern_shape=(pattern,),
+        repetition_shape=(rows, cols // step),
+    )
+
+
+class TestGather:
+    def test_gather_shape(self):
+        t = row_tiler()
+        arr = np.arange(4 * 16).reshape(4, 16)
+        out = gather(t, arr)
+        assert out.shape == (4, 2, 8)
+
+    def test_gather_values(self):
+        t = row_tiler()
+        arr = np.arange(4 * 16).reshape(4, 16)
+        out = gather(t, arr)
+        np.testing.assert_array_equal(out[1, 1], arr[1, 8:16])
+        np.testing.assert_array_equal(out[3, 0], arr[3, 0:8])
+
+    def test_gather_with_wraparound(self):
+        t = row_tiler(pattern=12)  # 12-pattern over step-8: last tile wraps
+        arr = np.arange(4 * 16).reshape(4, 16)
+        out = gather(t, arr)
+        # tile at (0, 1): columns 8..15 then wrap to 0..3 of the same row
+        expected = np.concatenate([arr[0, 8:16], arr[0, 0:4]])
+        np.testing.assert_array_equal(out[0, 1], expected)
+
+    def test_gather_rejects_wrong_shape(self):
+        t = row_tiler()
+        with pytest.raises(TilerError):
+            gather(t, np.zeros((5, 16)))
+
+    def test_gather_preserves_dtype(self):
+        t = row_tiler()
+        arr = np.arange(4 * 16, dtype=np.int32).reshape(4, 16)
+        assert gather(t, arr).dtype == np.int32
+
+    def test_gather_2d_pattern(self):
+        t = Tiler(
+            origin=(0, 0),
+            fitting=((1, 0), (0, 1)),
+            paving=((2, 0), (0, 2)),
+            array_shape=(4, 4),
+            pattern_shape=(2, 2),
+            repetition_shape=(2, 2),
+        )
+        arr = np.arange(16).reshape(4, 4)
+        out = gather(t, arr)
+        assert out.shape == (2, 2, 2, 2)
+        np.testing.assert_array_equal(out[1, 0], arr[2:4, 0:2])
+
+
+class TestScatter:
+    def test_scatter_inverts_gather_for_exact_tiling(self):
+        t = row_tiler()
+        arr = np.arange(4 * 16).reshape(4, 16)
+        tiles = gather(t, arr)
+        out = scatter_into_zeros(t, tiles)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_scatter_in_place(self):
+        t = row_tiler()
+        tiles = np.ones((4, 2, 8), dtype=np.int64)
+        out = np.zeros((4, 16), dtype=np.int64)
+        result = scatter(t, tiles, out)
+        assert result is out
+        assert (out == 1).all()
+
+    def test_scatter_rejects_wrong_value_shape(self):
+        t = row_tiler()
+        with pytest.raises(TilerError):
+            scatter(t, np.zeros((4, 2, 7)), np.zeros((4, 16)))
+
+    def test_scatter_rejects_wrong_out_shape(self):
+        t = row_tiler()
+        with pytest.raises(TilerError):
+            scatter(t, np.zeros((4, 2, 8)), np.zeros((4, 17)))
+
+    def test_scatter_last_writer_wins_on_overlap(self):
+        # overlapping tiling: pattern 12 over step 8; the wrap tiles rewrite
+        # columns 0..3 — last repetition in row-major order wins.
+        t = row_tiler(pattern=12)
+        tiles = np.empty((4, 2, 12), dtype=np.int64)
+        tiles[:, 0, :] = 0
+        tiles[:, 1, :] = 1
+        out = scatter_into_zeros(t, tiles)
+        # the second tile wrote columns 8..15 and wrapped into 0..3
+        assert (out[:, 0:4] == 1).all()
+        assert (out[:, 4:8] == 0).all()
+        assert (out[:, 8:16] == 1).all()
+
+
+class TestFlatIndices:
+    def test_flat_indices_match_coordinates(self):
+        t = row_tiler(pattern=12)
+        flat = flat_element_indices(t)
+        coords = t.all_elements()
+        recon = coords[..., 0] * 16 + coords[..., 1]
+        np.testing.assert_array_equal(flat, recon)

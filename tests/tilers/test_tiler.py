@@ -1,0 +1,165 @@
+"""Unit tests for the Tiler specification and addressing formulas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TilerError
+from repro.tilers import Tiler
+
+
+def hfilter_input_tiler(rows=12, cols=16):
+    """A small analogue of the paper's horizontal input tiler (Figure 10)."""
+    return Tiler(
+        origin=(0, 0),
+        fitting=((0,), (1,)),
+        paving=((1, 0), (0, 8)),
+        array_shape=(rows, cols),
+        pattern_shape=(12,),
+        repetition_shape=(rows, cols // 8),
+    )
+
+
+class TestConstruction:
+    def test_basic_fields_canonicalised(self):
+        t = hfilter_input_tiler()
+        assert t.origin == (0, 0)
+        assert t.fitting == ((0,), (1,))
+        assert t.paving == ((1, 0), (0, 8))
+        assert t.array_rank == 2
+        assert t.pattern_rank == 1
+        assert t.repetition_rank == 2
+
+    def test_sizes(self):
+        t = hfilter_input_tiler()
+        assert t.pattern_size == 12
+        assert t.repetition_size == 12 * 2
+
+    def test_hashable_and_eq(self):
+        a = hfilter_input_tiler()
+        b = hfilter_input_tiler()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_name_not_compared(self):
+        a = hfilter_input_tiler()
+        b = Tiler(
+            origin=a.origin,
+            fitting=a.fitting,
+            paving=a.paving,
+            array_shape=a.array_shape,
+            pattern_shape=a.pattern_shape,
+            repetition_shape=a.repetition_shape,
+            name="other",
+        )
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(origin=(0,)),  # wrong origin length
+            dict(fitting=((0, 0), (1, 1))),  # wrong fitting width
+            dict(paving=((1,), (0,))),  # wrong paving width
+            dict(array_shape=(0, 16)),  # empty array
+            dict(pattern_shape=(0,)),  # empty pattern
+            dict(repetition_shape=(12, 0)),  # empty repetition
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        base = dict(
+            origin=(0, 0),
+            fitting=((0,), (1,)),
+            paving=((1, 0), (0, 8)),
+            array_shape=(12, 16),
+            pattern_shape=(12,),
+            repetition_shape=(12, 2),
+        )
+        base.update(kwargs)
+        with pytest.raises(TilerError):
+            Tiler(**base)
+
+    def test_non_matrix_fitting_rejected(self):
+        with pytest.raises(TilerError):
+            Tiler(
+                origin=(0, 0),
+                fitting=(0, 1),  # 1-D, not a matrix
+                paving=((1, 0), (0, 8)),
+                array_shape=(12, 16),
+                pattern_shape=(12,),
+                repetition_shape=(12, 2),
+            )
+
+
+class TestAddressing:
+    def test_reference_formula(self):
+        t = hfilter_input_tiler()
+        assert tuple(t.reference((3, 1))) == (3, 8)
+        assert tuple(t.reference((0, 0))) == (0, 0)
+
+    def test_reference_wraps_modulo(self):
+        t = Tiler(
+            origin=(10, 0),
+            fitting=((0,), (1,)),
+            paving=((1, 0), (0, 8)),
+            array_shape=(12, 16),
+            pattern_shape=(12,),
+            repetition_shape=(12, 2),
+        )
+        assert tuple(t.reference((3, 0))) == (1, 0)  # (10+3) mod 12
+
+    def test_element_formula(self):
+        t = hfilter_input_tiler()
+        # element 11 of the pattern at repetition (0, 1): column 8 + 11 = 19 mod 16 = 3
+        assert tuple(t.element((0, 1), (11,))) == (0, 3)
+        assert tuple(t.element((2, 0), (5,))) == (2, 5)
+
+    def test_out_of_range_indices_rejected(self):
+        t = hfilter_input_tiler()
+        with pytest.raises(TilerError):
+            t.reference((12, 0))
+        with pytest.raises(TilerError):
+            t.reference((-1, 0))
+        with pytest.raises(TilerError):
+            t.element((0, 0), (12,))
+        with pytest.raises(TilerError):
+            t.element((0, 0), (0, 0))  # wrong pattern rank
+
+    def test_all_references_matches_pointwise(self):
+        t = hfilter_input_tiler()
+        refs = t.all_references
+        assert refs.shape == (12, 2, 2)
+        for r0 in range(12):
+            for r1 in range(2):
+                np.testing.assert_array_equal(refs[r0, r1], t.reference((r0, r1)))
+
+    def test_all_elements_matches_pointwise(self):
+        t = hfilter_input_tiler(rows=4, cols=16)
+        elems = t.all_elements()
+        assert elems.shape == (4, 2, 12, 2)
+        for r0 in range(4):
+            for r1 in range(2):
+                for i in range(12):
+                    np.testing.assert_array_equal(
+                        elems[r0, r1, i], t.element((r0, r1), (i,))
+                    )
+
+
+class TestWrapAnalysis:
+    def test_horizontal_downscaler_pattern_wraps_only_last_column(self):
+        t = hfilter_input_tiler()
+        mask = t.wrapping_repetitions()
+        assert mask.shape == (12, 2)
+        # pattern 12 from column 8 reaches 19 > 15: the last packet wraps
+        assert mask[:, 1].all()
+        assert not mask[:, 0].any()
+        assert t.wraps_anywhere()
+
+    def test_exact_tiling_does_not_wrap(self):
+        t = Tiler(
+            origin=(0, 0),
+            fitting=((0,), (1,)),
+            paving=((1, 0), (0, 8)),
+            array_shape=(12, 16),
+            pattern_shape=(8,),
+            repetition_shape=(12, 2),
+        )
+        assert not t.wraps_anywhere()

@@ -1,0 +1,56 @@
+"""Tests for the tiling visualiser."""
+
+import pytest
+
+from repro.errors import TilerError
+from repro.tilers import Tiler, render_pattern, render_tiling
+
+
+def block(rows=4, cols=8, step=4, pattern=4, origin=(0, 0)):
+    return Tiler(
+        origin=origin,
+        fitting=((0,), (1,)),
+        paving=((1, 0), (0, step)),
+        array_shape=(rows, cols),
+        pattern_shape=(pattern,),
+        repetition_shape=(rows, cols // step),
+    )
+
+
+class TestRenderTiling:
+    def test_exact_block_tiling_owners(self):
+        text = render_tiling(block())
+        lines = text.splitlines()
+        assert lines[0] == "00001111"
+        assert lines[1] == "22223333"
+
+    def test_overlap_marked(self):
+        text = render_tiling(block(pattern=6))  # 6-pattern over step 4 wraps
+        assert "*" in text
+
+    def test_gap_marked(self):
+        text = render_tiling(block(pattern=2))
+        assert "." in text
+
+    def test_1d(self):
+        t = Tiler(
+            origin=(0,), fitting=((1,),), paving=((3,),),
+            array_shape=(9,), pattern_shape=(3,), repetition_shape=(3,),
+        )
+        assert render_tiling(t) == "000111222"
+
+    def test_too_large_rejected(self):
+        with pytest.raises(TilerError, match="too large"):
+            render_tiling(block(rows=100, cols=100, step=4), max_cells=100)
+
+
+class TestRenderPattern:
+    def test_pattern_footprint(self):
+        text = render_pattern(block(), (1, 1))
+        lines = text.splitlines()
+        assert lines[1] == "....####"
+        assert lines[0] == "........"
+
+    def test_wrapping_pattern(self):
+        text = render_pattern(block(pattern=6), (0, 1))
+        assert text.splitlines()[0] == "##..####"
