@@ -1,0 +1,89 @@
+"""Static analysis & diagnostics over the repro compilation artifacts.
+
+Named analyzer passes run over shared-IR device programs, SaC ASTs and
+ArrayOL models, producing structured :class:`~repro.analysis.diagnostics.
+Diagnostic` records (stable code, severity, location, fix hint) instead of
+exceptions — the machinery behind the ``repro lint`` subcommand and the
+``lint=`` options of both backends.
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    SuppressionRule,
+    apply_baseline,
+    load_baseline,
+    parse_baseline,
+)
+from repro.analysis.bounds import AccessCheck, check_kernel_bounds
+from repro.analysis.coalesce import check_kernel_coalescing
+from repro.analysis.diagnostics import (
+    CODES,
+    SEVERITIES,
+    Diagnostic,
+    count_by_severity,
+    has_errors,
+    max_severity,
+)
+from repro.analysis.hazards import HappensBefore, build_happens_before, find_hazards
+from repro.analysis.intervals import TOP, Interval
+from repro.analysis.registry import (
+    KINDS,
+    AnalysisContext,
+    AnalyzerPass,
+    analyze_model,
+    analyze_program,
+    analyze_sac_program,
+    get_pass,
+    register_pass,
+    registered_passes,
+    run_passes,
+)
+from repro.analysis.render import render_json, render_text, sort_diagnostics
+from repro.analysis.saclint import (
+    find_binding_lints,
+    find_generator_overlaps,
+    lint_sac_program,
+)
+from repro.analysis.tilerlint import lint_model, lint_tiler
+from repro.analysis.transfers import find_transfer_waste
+
+__all__ = [
+    "CODES",
+    "SEVERITIES",
+    "Diagnostic",
+    "Interval",
+    "TOP",
+    "AccessCheck",
+    "check_kernel_bounds",
+    "check_kernel_coalescing",
+    "HappensBefore",
+    "build_happens_before",
+    "find_hazards",
+    "find_transfer_waste",
+    "find_binding_lints",
+    "find_generator_overlaps",
+    "lint_sac_program",
+    "lint_tiler",
+    "lint_model",
+    "max_severity",
+    "has_errors",
+    "count_by_severity",
+    "KINDS",
+    "AnalysisContext",
+    "AnalyzerPass",
+    "register_pass",
+    "registered_passes",
+    "get_pass",
+    "run_passes",
+    "analyze_program",
+    "analyze_sac_program",
+    "analyze_model",
+    "render_text",
+    "render_json",
+    "sort_diagnostics",
+    "Baseline",
+    "SuppressionRule",
+    "parse_baseline",
+    "load_baseline",
+    "apply_baseline",
+]

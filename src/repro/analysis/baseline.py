@@ -1,0 +1,82 @@
+"""Suppression/baseline files for ``repro lint``.
+
+A baseline file accepts known findings so the lint gate only fails on *new*
+problems.  Format — one rule per line, ``#`` comments and blank lines
+ignored::
+
+    # accept all coalescing findings
+    COALESCE001
+    # accept a transfer finding only at a specific location
+    XFER001 @ program 'downscale_hd'
+
+A rule is the diagnostic code alone (suppresses the code everywhere) or
+``CODE @ substring`` (suppresses the code where the diagnostic location
+contains the substring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import ReproError
+
+__all__ = ["SuppressionRule", "Baseline", "parse_baseline", "load_baseline", "apply_baseline"]
+
+
+@dataclass(frozen=True)
+class SuppressionRule:
+    """Suppress ``code``, optionally only at matching locations."""
+
+    code: str
+    location_substring: str = ""
+
+    def matches(self, d: Diagnostic) -> bool:
+        if d.code != self.code:
+            return False
+        return self.location_substring in d.location
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An ordered collection of suppression rules."""
+
+    rules: tuple[SuppressionRule, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def matches(self, d: Diagnostic) -> bool:
+        return any(r.matches(d) for r in self.rules)
+
+
+def parse_baseline(text: str, source: str = "<baseline>") -> Baseline:
+    rules: list[SuppressionRule] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        code, sep, rest = line.partition("@")
+        code = code.strip()
+        if not code or (sep and not rest.strip()):
+            raise ReproError(
+                f"{source}:{lineno}: malformed suppression rule {raw.strip()!r}"
+            )
+        rules.append(SuppressionRule(code=code, location_substring=rest.strip()))
+    return Baseline(rules=tuple(rules))
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    path = Path(path)
+    return parse_baseline(path.read_text(encoding="utf-8"), source=str(path))
+
+
+def apply_baseline(diags, baseline: Baseline | None):
+    """Split ``diags`` into (kept, suppressed) under ``baseline``."""
+    if baseline is None or not len(baseline):
+        return list(diags), []
+    kept, suppressed = [], []
+    for d in diags:
+        (suppressed if baseline.matches(d) else kept).append(d)
+    return kept, suppressed

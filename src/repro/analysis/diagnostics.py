@@ -1,0 +1,134 @@
+"""Structured diagnostics: what analyzers produce instead of exceptions.
+
+The fail-fast validators (:mod:`repro.ir.validate`, :mod:`repro.arrayol.validate`)
+raise on the first *hard* error.  The analyzers in :mod:`repro.analysis`
+instead collect :class:`Diagnostic` records — soft defects the paper reasons
+about quantitatively (redundant transfers, unordered overlapping launches,
+uncoalesced accesses) next to provable bugs (out-of-bounds indices, races) —
+so callers can rank, render, suppress and gate on them.
+
+Every diagnostic carries a **stable code** (``RACE001``, ``XFER002``, …)
+listed in :data:`CODES`; codes never change meaning between releases, so
+suppression files stay valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "SEVERITIES",
+    "CODES",
+    "Diagnostic",
+    "max_severity",
+    "has_errors",
+    "count_by_severity",
+]
+
+#: Severity levels, in increasing order of gravity.
+SEVERITIES = ("info", "warning", "error")
+
+#: The stable diagnostic code table (code -> one-line meaning).
+CODES = {
+    "RACE001": "write-write conflict between unordered device operations",
+    "RACE002": "read-write conflict between unordered device operations",
+    "XFER001": "redundant host-to-device transfer of already-resident data",
+    "XFER002": "device-to-host transfer whose result is never consumed",
+    "XFER003": "device allocation never reaches a kernel (pure PCIe round trip)",
+    "BOUNDS001": "kernel read index provably or possibly out of bounds",
+    "BOUNDS002": "kernel store index provably or possibly out of bounds",
+    "BOUNDS003": "kernel index not statically analysable (data-dependent)",
+    "COALESCE001": "non-unit adjacent-thread stride (uncoalesced warp access)",
+    "SAC001": "binding is never used",
+    "SAC002": "binding shadows an existing binding",
+    "SAC003": "WITH-loop generators overlap (single assignment at risk)",
+    "TILER001": "output tiler writes array elements more than once",
+    "TILER002": "tiler leaves array elements unaddressed (coverage gap)",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static analyzer.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier from :data:`CODES`.
+    severity:
+        ``"info"``, ``"warning"`` or ``"error"`` — errors gate ``repro lint``.
+    message:
+        Human-readable description of the defect.
+    location:
+        Free-form position: ``"program 'x': ops[4] (launch 'k')"``, a SaC
+        source position, a kernel or tiler name.
+    hint:
+        Suggested fix, when the analyzer has one.
+    analyzer:
+        Name of the registered pass that produced the finding.
+    wasted_us:
+        Modelled microseconds the defect wastes per run (transfer lints tie
+        findings to the paper's ~50 % transfer-share observation).
+    """
+
+    code: str
+    severity: str
+    message: str
+    location: str = ""
+    hint: str = ""
+    analyzer: str = field(default="", compare=False)
+    wasted_us: float | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric severity (higher is worse) — used for sorting."""
+        return SEVERITIES.index(self.severity)
+
+    def with_analyzer(self, name: str) -> "Diagnostic":
+        return replace(self, analyzer=name)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (stable key order)."""
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        if self.analyzer:
+            out["analyzer"] = self.analyzer
+        if self.wasted_us is not None:
+            out["wasted_us"] = round(self.wasted_us, 3)
+        return out
+
+
+def max_severity(diags) -> str | None:
+    """The worst severity present, or ``None`` for an empty list."""
+    worst = None
+    for d in diags:
+        if worst is None or d.rank > SEVERITIES.index(worst):
+            worst = d.severity
+    return worst
+
+
+def has_errors(diags) -> bool:
+    return any(d.is_error for d in diags)
+
+
+def count_by_severity(diags) -> dict[str, int]:
+    counts = {s: 0 for s in SEVERITIES}
+    for d in diags:
+        counts[d.severity] += 1
+    return counts

@@ -1,0 +1,249 @@
+"""The analyzer pass registry.
+
+Analyzers are registered under stable names, keyed by the **artifact kind**
+they consume:
+
+* ``"program"`` — a :class:`repro.ir.program.DeviceProgram`;
+* ``"sac"`` — a :class:`repro.sac.ast.Program`;
+* ``"model"`` — a :class:`repro.arrayol.model.ApplicationModel`.
+
+:func:`run_passes` runs every registered pass for a kind (or a named
+subset) and returns the combined diagnostics, each tagged with the pass
+that produced it.  The built-in suite is registered at import time; callers
+may register additional passes (later scaling PRs hang scheduling checks
+here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis import bounds, coalesce, hazards, saclint, tilerlint, transfers
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import ReproError
+from repro.gpu.calibration import GTX480_CALIBRATED
+from repro.gpu.cost import CostModel
+from repro.gpu.device import GTX480, DeviceSpec
+from repro.ir.program import DeviceProgram, LaunchKernel
+
+__all__ = [
+    "KINDS",
+    "AnalysisContext",
+    "AnalyzerPass",
+    "register_pass",
+    "registered_passes",
+    "get_pass",
+    "run_passes",
+    "analyze_program",
+    "analyze_sac_program",
+    "analyze_model",
+]
+
+#: artifact kinds analyzers can consume
+KINDS = ("program", "sac", "model")
+
+
+@dataclass(frozen=True)
+class AnalysisContext:
+    """Shared analyzer configuration (cost model, device spec)."""
+
+    cost: CostModel = field(default_factory=lambda: CostModel(GTX480_CALIBRATED))
+    device: DeviceSpec = GTX480
+
+
+@dataclass(frozen=True)
+class AnalyzerPass:
+    """A named analyzer: ``run(artifact, ctx) -> list[Diagnostic]``."""
+
+    name: str
+    kind: str
+    description: str
+    codes: tuple[str, ...]
+    run: Callable[[object, AnalysisContext], list[Diagnostic]] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ReproError(f"unknown analyzer kind {self.kind!r}")
+
+
+_REGISTRY: dict[str, AnalyzerPass] = {}
+
+
+def register_pass(p: AnalyzerPass, replace: bool = False) -> AnalyzerPass:
+    if p.name in _REGISTRY and not replace:
+        raise ReproError(f"analyzer pass {p.name!r} already registered")
+    _REGISTRY[p.name] = p
+    return p
+
+
+def registered_passes(kind: str | None = None) -> tuple[AnalyzerPass, ...]:
+    return tuple(
+        p for p in _REGISTRY.values() if kind is None or p.kind == kind
+    )
+
+
+def get_pass(name: str) -> AnalyzerPass:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(f"no analyzer pass named {name!r}") from None
+
+
+def run_passes(
+    artifact,
+    kind: str,
+    ctx: AnalysisContext | None = None,
+    only: tuple[str, ...] | None = None,
+) -> list[Diagnostic]:
+    """Run the registered passes for ``kind`` over ``artifact``."""
+    if kind not in KINDS:
+        raise ReproError(f"unknown analyzer kind {kind!r}")
+    ctx = ctx or AnalysisContext()
+    out: list[Diagnostic] = []
+    for p in registered_passes(kind):
+        if only is not None and p.name not in only:
+            continue
+        out.extend(d.with_analyzer(p.name) for d in p.run(artifact, ctx))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# built-in passes
+# ---------------------------------------------------------------------------
+
+
+def _run_hazards(program: DeviceProgram, ctx: AnalysisContext):
+    return hazards.find_hazards(program)
+
+
+def _run_transfers(program: DeviceProgram, ctx: AnalysisContext):
+    return transfers.find_transfer_waste(program, ctx.cost)
+
+
+def _run_bounds(program: DeviceProgram, ctx: AnalysisContext):
+    out: list[Diagnostic] = []
+    for i, op in enumerate(program.ops):
+        if isinstance(op, LaunchKernel):
+            out.extend(
+                bounds.check_kernel_bounds(
+                    op.kernel,
+                    scalars=dict(op.scalar_args),
+                    location=(
+                        f"program {program.name!r}: ops[{i}] "
+                        f"launch {op.kernel.name!r}"
+                    ),
+                )
+            )
+    return out
+
+
+def _run_coalescing(program: DeviceProgram, ctx: AnalysisContext):
+    out: list[Diagnostic] = []
+    seen: set[str] = set()
+    for i, op in enumerate(program.ops):
+        if isinstance(op, LaunchKernel) and op.kernel.name not in seen:
+            seen.add(op.kernel.name)
+            out.extend(
+                coalesce.check_kernel_coalescing(
+                    op.kernel,
+                    device=ctx.device,
+                    location=(
+                        f"program {program.name!r}: ops[{i}] "
+                        f"launch {op.kernel.name!r}"
+                    ),
+                )
+            )
+    return out
+
+
+def _run_sac_bindings(program, ctx: AnalysisContext):
+    return saclint.find_binding_lints(program)
+
+
+def _run_sac_generators(program, ctx: AnalysisContext):
+    return saclint.find_generator_overlaps(program)
+
+
+def _run_tilers(model, ctx: AnalysisContext):
+    return tilerlint.lint_model(model)
+
+
+_BUILTINS = (
+    AnalyzerPass(
+        name="hazards",
+        kind="program",
+        description="happens-before race detection over async device ops",
+        codes=("RACE001", "RACE002"),
+        run=_run_hazards,
+    ),
+    AnalyzerPass(
+        name="transfers",
+        kind="program",
+        description="redundant/dead PCIe transfers, priced by the cost model",
+        codes=("XFER001", "XFER002", "XFER003"),
+        run=_run_transfers,
+    ),
+    AnalyzerPass(
+        name="bounds",
+        kind="program",
+        description="interval proofs that kernel indices stay in bounds",
+        codes=("BOUNDS001", "BOUNDS002", "BOUNDS003"),
+        run=_run_bounds,
+    ),
+    AnalyzerPass(
+        name="coalescing",
+        kind="program",
+        description="non-unit adjacent-thread stride detection",
+        codes=("COALESCE001",),
+        run=_run_coalescing,
+    ),
+    AnalyzerPass(
+        name="sac-bindings",
+        kind="sac",
+        description="unused and shadowed SaC bindings",
+        codes=("SAC001", "SAC002"),
+        run=_run_sac_bindings,
+    ),
+    AnalyzerPass(
+        name="sac-generators",
+        kind="sac",
+        description="overlapping WITH-loop generators",
+        codes=("SAC003",),
+        run=_run_sac_generators,
+    ),
+    AnalyzerPass(
+        name="tilers",
+        kind="model",
+        description="tiler injectivity and coverage over the task tree",
+        codes=("TILER001", "TILER002"),
+        run=_run_tilers,
+    ),
+)
+
+for _p in _BUILTINS:
+    register_pass(_p)
+
+
+# ---------------------------------------------------------------------------
+# convenience front doors
+# ---------------------------------------------------------------------------
+
+
+def analyze_program(
+    program: DeviceProgram,
+    ctx: AnalysisContext | None = None,
+    only: tuple[str, ...] | None = None,
+) -> list[Diagnostic]:
+    """Run all program-kind analyzers over a device program."""
+    return run_passes(program, "program", ctx=ctx, only=only)
+
+
+def analyze_sac_program(program, ctx=None, only=None) -> list[Diagnostic]:
+    """Run all SaC-kind analyzers over a SaC AST program."""
+    return run_passes(program, "sac", ctx=ctx, only=only)
+
+
+def analyze_model(model, ctx=None, only=None) -> list[Diagnostic]:
+    """Run all model-kind analyzers over an ArrayOL application model."""
+    return run_passes(model, "model", ctx=ctx, only=only)

@@ -1,0 +1,50 @@
+"""Render diagnostics as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic, count_by_severity
+
+__all__ = ["render_text", "render_json", "sort_diagnostics"]
+
+
+def sort_diagnostics(diags) -> list[Diagnostic]:
+    """Worst first; within a severity, stable by code then location."""
+    return sorted(diags, key=lambda d: (-d.rank, d.code, d.location, d.message))
+
+
+def render_text(diags, title: str | None = None) -> str:
+    """One line per finding plus a summary line.
+
+    Format::
+
+        <location>: <severity> <CODE>: <message> [~12.3 us wasted]
+            hint: <fix hint>
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for d in sort_diagnostics(diags):
+        head = f"{d.location}: " if d.location else ""
+        waste = f" [~{d.wasted_us:.1f} us wasted]" if d.wasted_us is not None else ""
+        lines.append(f"{head}{d.severity} {d.code}: {d.message}{waste}")
+        if d.hint:
+            lines.append(f"    hint: {d.hint}")
+    counts = count_by_severity(diags)
+    lines.append(
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diags, title: str | None = None) -> str:
+    """A JSON document: summary counts plus the sorted findings."""
+    counts = count_by_severity(diags)
+    doc = {
+        "title": title or "",
+        "counts": counts,
+        "diagnostics": [d.as_dict() for d in sort_diagnostics(diags)],
+    }
+    return json.dumps(doc, indent=2)

@@ -36,6 +36,8 @@ class GaspardContext:
     ops: list[Op] = field(default_factory=list)
     program: DeviceProgram | None = None
     sources: dict[str, str] = field(default_factory=dict)
+    #: analyzer findings (populated by the optional ``analyze`` pass)
+    diagnostics: list = field(default_factory=list)
 
 
 @dataclass(frozen=True)

@@ -351,8 +351,17 @@ def _emit_sources(ctx: GaspardContext) -> None:
         )
 
 
-def opencl_chain_passes() -> tuple[ModelPass, ...]:
-    return (
+def _analyze(ctx: GaspardContext) -> None:
+    """Run the repro.analysis suite over the model and emitted program."""
+    from repro.analysis import analyze_model, analyze_program
+
+    ctx.diagnostics.extend(analyze_model(ctx.model))
+    if ctx.program is not None:
+        ctx.diagnostics.extend(analyze_program(ctx.program))
+
+
+def opencl_chain_passes(lint: bool = False) -> tuple[ModelPass, ...]:
+    passes = (
         ModelPass("validate", _validate, "GILR well-formedness"),
         ModelPass("flatten_hierarchy", _flatten, "inline compound tasks"),
         ModelPass("schedule", _schedule, "topological instance order"),
@@ -362,8 +371,13 @@ def opencl_chain_passes() -> tuple[ModelPass, ...]:
         ModelPass("emit_program", _emit_program, "transfers + launches + IPs"),
         ModelPass("emit_sources", _emit_sources, "OpenCL model-to-text"),
     )
+    if lint:
+        passes += (
+            ModelPass("analyze", _analyze, "static-analysis diagnostics"),
+        )
+    return passes
 
 
-def standard_chain() -> TransformationChain:
-    """The Gaspard2 OpenCL chain."""
-    return TransformationChain(opencl_chain_passes())
+def standard_chain(lint: bool = False) -> TransformationChain:
+    """The Gaspard2 OpenCL chain (optionally ending in an analysis pass)."""
+    return TransformationChain(opencl_chain_passes(lint=lint))

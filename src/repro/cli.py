@@ -9,6 +9,16 @@ Subcommands::
     repro downscale [--size hd|cif] [--variant nongeneric|generic]
                     [--route sac|gaspard]
     repro overlap [--size hd|cif] [--frames N]
+    repro lint [--route sac|gaspard|all] [--size hd|cif]
+               [--format text|json] [--baseline FILE]
+               [--file SAC_FILE --entry F]
+
+Exit codes (all subcommands):
+
+* ``0`` — success; for ``lint``, no error-severity findings;
+* ``1`` — ``lint`` found at least one error-severity diagnostic;
+* ``2`` — usage error (argparse);
+* ``3`` — a repro error (parse/compile/validation failure).
 """
 
 from __future__ import annotations
@@ -19,6 +29,12 @@ import sys
 import numpy as np
 
 __all__ = ["main"]
+
+#: documented exit codes
+EXIT_OK = 0
+EXIT_LINT_ERRORS = 1
+EXIT_USAGE = 2
+EXIT_REPRO_ERROR = 3
 
 
 def _size(name: str):
@@ -50,7 +66,7 @@ def _cmd_compile_sac(args) -> int:
     if args.emit and args.target == "cuda":
         print()
         print(cf.program.source("kernels.cu"))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_gaspard(args) -> int:
@@ -72,7 +88,7 @@ def _cmd_gaspard(args) -> int:
     if args.emit:
         print()
         print(ctx.program.source("kernels.cl"))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_experiment(args) -> int:
@@ -110,7 +126,7 @@ def _cmd_experiment(args) -> int:
         print("GPU speedup, ~50% transfer share, routes within 85%):")
         for k, v in lab.headline_claims().items():
             print(f"  {k:34s} {v:8.2f}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_downscale(args) -> int:
@@ -134,7 +150,7 @@ def _cmd_downscale(args) -> int:
     for name, arr in res.outputs.items():
         arr = np.asarray(arr)
         print(f"  output {name}: shape {arr.shape} checksum {int(arr.sum())}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_overlap(args) -> int:
@@ -156,13 +172,101 @@ def _cmd_overlap(args) -> int:
         print(f"=== {variant} variant, {args.frames} frames ===")
         print(render_gantt(result))
         print()
-    return 0
+    return EXIT_OK
+
+
+def _cmd_lint(args) -> int:
+    """Run every registered analyzer; exit 1 on error-severity findings."""
+    from repro.analysis import (
+        apply_baseline,
+        has_errors,
+        load_baseline,
+        render_json,
+        render_text,
+    )
+
+    diags = []
+    titles = []
+    if args.file is not None:
+        diags += _lint_sac_file(args.file, args.entry, titles)
+    else:
+        size = _size(args.size)
+        if args.route in ("sac", "all"):
+            diags += _lint_sac_route(size, titles)
+        if args.route in ("gaspard", "all"):
+            diags += _lint_gaspard_route(size, titles)
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    kept, suppressed = apply_baseline(diags, baseline)
+
+    title = "lint: " + ", ".join(titles)
+    if args.format == "json":
+        print(render_json(kept, title=title))
+    else:
+        print(render_text(kept, title=title))
+        if suppressed:
+            print(f"({len(suppressed)} finding(s) suppressed by baseline)")
+    return EXIT_LINT_ERRORS if has_errors(kept) else EXIT_OK
+
+
+def _lint_sac_file(path: str, entry: str | None, titles: list) -> list:
+    from repro.analysis import analyze_program, analyze_sac_program
+    from repro.sac.backend import CompileOptions, compile_function
+    from repro.sac.parser import parse
+
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    prog = parse(source, filename=path)
+    diags = list(analyze_sac_program(prog))
+    if entry:
+        if not any(f.name == entry for f in prog.functions):
+            from repro.errors import ReproError
+
+            raise ReproError(f"{path}: no function named {entry!r}")
+        cf = compile_function(prog, entry, CompileOptions(target="cuda"))
+        diags += analyze_program(cf.program)
+        titles.append(f"{path} (entry {entry!r})")
+    else:
+        titles.append(path)
+    return diags
+
+
+def _lint_sac_route(size, titles: list) -> list:
+    from repro.apps.downscaler.sac_sources import NONGENERIC, downscaler_program_source
+    from repro.sac.backend import CompileOptions, compile_function
+    from repro.sac.parser import parse
+
+    prog = parse(downscaler_program_source(size, NONGENERIC))
+    cf = compile_function(
+        prog, "downscale", CompileOptions(target="cuda", lint=True)
+    )
+    titles.append(f"SaC non-generic {size.name} ({cf.kernel_count} kernels)")
+    return list(cf.diagnostics)
+
+
+def _lint_gaspard_route(size, titles: list) -> list:
+    from repro.apps.downscaler.arrayol_model import (
+        downscaler_allocation,
+        downscaler_model,
+    )
+    from repro.arrayol.transform import GaspardContext, standard_chain
+
+    ctx = GaspardContext(
+        model=downscaler_model(size), allocation=downscaler_allocation()
+    )
+    ctx = standard_chain(lint=True).run(ctx)
+    titles.append(f"Gaspard2 {size.name} ({ctx.program.launch_count} launches)")
+    return list(ctx.diagnostics)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SaC/ArrayOL GPU-compilation reproduction (HIPS 2011)",
+        epilog=(
+            "exit codes: 0 success (lint: clean), 1 lint found errors, "
+            "2 usage error, 3 repro error (parse/compile/validation)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -198,8 +302,33 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--route", choices=("sac", "gaspard"), default="sac")
     p.set_defaults(fn=_cmd_downscale)
 
+    p = sub.add_parser(
+        "lint",
+        help="run the static-analysis suite (exit 1 on error findings)",
+        description=(
+            "Runs every registered analyzer (hazards, transfers, bounds, "
+            "coalescing, SaC lints, tiler lints) over the compiled downscaler "
+            "routes, or over a SaC source file given with --file."
+        ),
+    )
+    p.add_argument("--route", choices=("sac", "gaspard", "all"), default="all")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--baseline", help="suppression file (CODE [@ location])")
+    p.add_argument("--file", help="lint a SaC source file instead of the routes")
+    p.add_argument("--entry", help="with --file: also compile and lint the program")
+    p.set_defaults(fn=_cmd_lint)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except Exception as err:
+        from repro.errors import ReproError
+
+        if isinstance(err, (ReproError, OSError)):
+            print(f"error: {err}", file=sys.stderr)
+            return EXIT_REPRO_ERROR
+        raise
 
 
 if __name__ == "__main__":

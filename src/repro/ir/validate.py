@@ -93,8 +93,11 @@ def validate_program(program: DeviceProgram) -> None:
     * every device buffer is allocated before use and not used after free;
     * no double allocation / double free;
     * kernel launches bind parameters to live buffers of matching
-      shape/dtype;
-    * transfers reference live device buffers;
+      shape/dtype, and never alias one buffer to two parameters when any
+      of them is written;
+    * transfers reference live device buffers, and a host array moved
+      through several transfers keeps a consistent shape/dtype (matching
+      each device buffer's ``AllocDevice`` declaration);
     * host arrays consumed by transfers or host steps are program inputs or
       were produced earlier;
     * every declared host output is actually produced.
@@ -102,6 +105,23 @@ def validate_program(program: DeviceProgram) -> None:
     live: dict[str, AllocDevice] = {}
     freed: set[str] = set()
     host_defined: set[str] = set(program.host_inputs)
+    # host array -> (shape, dtype) inferred from the first transfer touching
+    # it; host steps may reshape arrays, so their writes clear the record
+    host_geometry: dict[str, tuple[tuple[int, ...], np.dtype]] = {}
+
+    def check_host_geometry(host: str, alloc: AllocDevice, what: str) -> None:
+        geom = (tuple(alloc.shape), np.dtype(alloc.dtype))
+        known = host_geometry.setdefault(host, geom)
+        if known[0] != geom[0]:
+            raise IRError(
+                f"{what}: host array {host!r} has shape {known[0]}, device "
+                f"buffer declares {geom[0]}"
+            )
+        if known[1] != geom[1]:
+            raise IRError(
+                f"{what}: host array {host!r} has dtype {known[1]}, device "
+                f"buffer declares {geom[1]}"
+            )
 
     def require_live(buffer: str, what: str) -> AllocDevice:
         if buffer in live:
@@ -122,17 +142,38 @@ def validate_program(program: DeviceProgram) -> None:
             del live[op.buffer]
             freed.add(op.buffer)
         elif isinstance(op, HostToDevice):
-            require_live(op.device, f"H2D {op.host}->{op.device}")
+            what = f"H2D {op.host}->{op.device}"
+            alloc = require_live(op.device, what)
             if op.host not in host_defined:
                 raise IRError(
                     f"H2D transfer reads undefined host array {op.host!r} "
                     f"(not an input and not produced earlier)"
                 )
+            check_host_geometry(op.host, alloc, what)
         elif isinstance(op, DeviceToHost):
-            require_live(op.device, f"D2H {op.device}->{op.host}")
+            what = f"D2H {op.device}->{op.host}"
+            alloc = require_live(op.device, what)
+            # the download (re)defines the host array with the buffer's
+            # geometry, so earlier records are replaced, not compared
+            host_geometry[op.host] = (tuple(alloc.shape), np.dtype(alloc.dtype))
             host_defined.add(op.host)
         elif isinstance(op, LaunchKernel):
             validate_kernel(op.kernel)
+            bound_to: dict[str, str] = {}
+            for param_name, buffer in op.array_args:
+                other = bound_to.get(buffer)
+                if other is not None:
+                    intents = {
+                        op.kernel.array(other).intent,
+                        op.kernel.array(param_name).intent,
+                    }
+                    if intents != {"in"}:
+                        raise IRError(
+                            f"launch {op.kernel.name!r}: buffer {buffer!r} bound "
+                            f"to parameters {other!r} and {param_name!r} with "
+                            f"write intent (aliasing)"
+                        )
+                bound_to[buffer] = param_name
             for param_name, buffer in op.array_args:
                 alloc = require_live(buffer, f"launch {op.kernel.name!r}")
                 param = op.kernel.array(param_name)
@@ -160,6 +201,8 @@ def validate_program(program: DeviceProgram) -> None:
                         f"host step {op.name!r} reads undefined host array {name!r}"
                     )
             host_defined.update(op.writes)
+            for name in op.writes:
+                host_geometry.pop(name, None)  # host code may reshape
         else:
             raise IRError(f"unknown op {op!r}")
 

@@ -82,6 +82,9 @@ class CompileOptions:
     optimize: bool = True
     #: run the static semantic and rank checks before compiling
     check: bool = True
+    #: run the repro.analysis suite over the source AST and the emitted
+    #: program; findings land on CompiledFunction.diagnostics
+    lint: bool = False
 
     def __post_init__(self) -> None:
         if self.target not in ("cuda", "seq"):
@@ -98,6 +101,8 @@ class CompiledFunction:
     kernel_count: int = 0
     host_step_count: int = 0
     rejected: tuple[tuple[str, str], ...] = ()  # (with-loop result, reason)
+    #: analyzer findings (populated when CompileOptions.lint is set)
+    diagnostics: tuple = field(default=(), compare=False)
 
 
 def compile_function(
@@ -112,11 +117,28 @@ def compile_function(
 
         check_program(program)
         typecheck_program(program)
+    source_program = program
     if options.optimize:
         program = optimize_program(program, entry=entry, flags=options.opt_flags)
     fun = program.function(entry)
     builder = _Builder(program, fun, options)
-    return builder.build()
+    compiled = builder.build()
+    if options.lint:
+        from repro.analysis import analyze_program, analyze_sac_program
+
+        diagnostics = tuple(
+            analyze_sac_program(source_program) + analyze_program(compiled.program)
+        )
+        compiled = CompiledFunction(
+            program=compiled.program,
+            entry=compiled.entry,
+            optimized=compiled.optimized,
+            kernel_count=compiled.kernel_count,
+            host_step_count=compiled.host_step_count,
+            rejected=compiled.rejected,
+            diagnostics=diagnostics,
+        )
+    return compiled
 
 
 class _Builder:

@@ -1,0 +1,78 @@
+"""Unit tests for the memory-coalescing lint (COALESCE001)."""
+
+from repro.analysis import check_kernel_coalescing
+from repro.ir import (
+    ArrayParam,
+    BinOp,
+    Const,
+    IndexSpace,
+    Kernel,
+    Read,
+    Store,
+    ThreadIdx,
+)
+
+
+def test_unit_stride_kernel_is_clean():
+    k = Kernel(
+        name="copy",
+        space=IndexSpace((0,), (64,)),
+        arrays=(
+            ArrayParam("src", (64,), intent="in"),
+            ArrayParam("dst", (64,), intent="out"),
+        ),
+        body=(Store("dst", (ThreadIdx(0),), Read("src", (ThreadIdx(0),))),),
+    )
+    assert check_kernel_coalescing(k) == []
+
+
+def test_strided_access_flagged_with_efficiency():
+    # neighbouring threads read src[4*iv]: only 1/4 of each memory
+    # transaction is useful on a GTX 480-class device
+    k = Kernel(
+        name="gather4",
+        space=IndexSpace((0,), (16,)),
+        arrays=(
+            ArrayParam("src", (64,), intent="in"),
+            ArrayParam("dst", (16,), intent="out"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0),),
+                Read("src", (BinOp("*", ThreadIdx(0), Const(4)),)),
+            ),
+        ),
+    )
+    diags = check_kernel_coalescing(k, location="test site")
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.code == "COALESCE001"
+    assert d.severity == "warning"
+    assert d.location == "test site"
+    assert "stride" in d.message
+    assert "gather4" in d.message or d.location == "test site"
+
+
+def test_transposed_2d_access_flagged():
+    # reading src[(j, i)] while writing dst[(i, j)] makes the fast axis of
+    # the read the slow axis of the layout — classic uncoalesced transpose
+    shape = (8, 8)
+    k = Kernel(
+        name="transpose",
+        space=IndexSpace((0, 0), shape),
+        arrays=(
+            ArrayParam("src", shape, intent="in"),
+            ArrayParam("dst", shape, intent="out"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                Read("src", (ThreadIdx(1), ThreadIdx(0))),
+            ),
+        ),
+    )
+    diags = check_kernel_coalescing(k)
+    assert len(diags) == 1
+    assert diags[0].code == "COALESCE001"

@@ -1,0 +1,127 @@
+"""Unit tests for the diagnostic record type, renderers and baseline files."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    Baseline,
+    Diagnostic,
+    SuppressionRule,
+    apply_baseline,
+    count_by_severity,
+    has_errors,
+    max_severity,
+    parse_baseline,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+from repro.errors import ReproError
+
+
+def diag(code="RACE001", severity="error", **kw):
+    return Diagnostic(code=code, severity=severity, message="m", **kw)
+
+
+class TestDiagnostic:
+    def test_known_codes_have_descriptions(self):
+        assert "RACE001" in CODES
+        assert all(isinstance(v, str) and v for v in CODES.values())
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            diag(code="NOPE999")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            diag(severity="fatal")
+
+    def test_is_error_and_rank(self):
+        assert diag(severity="error").is_error
+        assert not diag(code="XFER001", severity="warning").is_error
+        assert diag(severity="error").rank > diag(code="XFER001", severity="warning").rank
+
+    def test_with_analyzer(self):
+        d = diag().with_analyzer("hazards")
+        assert d.analyzer == "hazards"
+        assert d.code == "RACE001"
+
+    def test_as_dict_round_trips_fields(self):
+        d = diag(location="ops[3]", hint="fix it", wasted_us=1.5)
+        out = d.as_dict()
+        assert out["code"] == "RACE001"
+        assert out["location"] == "ops[3]"
+        assert out["wasted_us"] == 1.5
+
+    def test_helpers(self):
+        diags = [diag(), diag(code="XFER001", severity="warning")]
+        assert has_errors(diags)
+        assert max_severity(diags) == "error"
+        assert count_by_severity(diags) == {"error": 1, "warning": 1, "info": 0}
+        assert not has_errors([])
+        assert max_severity([]) is None
+
+
+class TestRenderers:
+    def test_text_orders_errors_first(self):
+        diags = [
+            diag(code="XFER001", severity="warning", location="b"),
+            diag(code="RACE001", severity="error", location="a"),
+        ]
+        text = render_text(diags, title="t")
+        assert text.index("RACE001") < text.index("XFER001")
+        assert "1 error(s)" in text
+
+    def test_text_includes_hint_and_waste(self):
+        text = render_text([diag(code="XFER003", severity="warning",
+                                 hint="drop it", wasted_us=12.0)])
+        assert "hint: drop it" in text
+        assert "12.0 us" in text
+
+    def test_json_parses_and_counts(self):
+        out = json.loads(render_json([diag()], title="t"))
+        assert out["title"] == "t"
+        assert out["counts"]["error"] == 1
+        assert out["diagnostics"][0]["code"] == "RACE001"
+
+    def test_sort_is_stable_and_deterministic(self):
+        diags = [diag(location=loc) for loc in ("z", "a", "m")]
+        assert [d.location for d in sort_diagnostics(diags)] == ["a", "m", "z"]
+
+
+class TestBaseline:
+    def test_parse_rules_and_comments(self):
+        b = parse_baseline(
+            "# comment\n\nCOALESCE001\nRACE001 @ ops[3]\n", source="mem"
+        )
+        assert len(b) == 2
+        assert b.matches(diag(code="COALESCE001", severity="warning"))
+        assert b.matches(diag(location="program: ops[3] launch"))
+        assert not b.matches(diag(location="ops[9]"))
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ReproError):
+            parse_baseline("RACE001 @\n", source="mem")
+
+    def test_apply_partitions(self):
+        b = Baseline(rules=(SuppressionRule(code="XFER001"),))
+        kept, suppressed = apply_baseline(
+            [diag(), diag(code="XFER001", severity="warning")], b
+        )
+        assert [d.code for d in kept] == ["RACE001"]
+        assert [d.code for d in suppressed] == ["XFER001"]
+
+    def test_apply_none_baseline_keeps_all(self):
+        kept, suppressed = apply_baseline([diag()], None)
+        assert len(kept) == 1 and not suppressed
+
+    def test_load_baseline(self, tmp_path):
+        path = tmp_path / "lint-baseline"
+        path.write_text("COALESCE001 @ downscaler\n")
+        from repro.analysis import load_baseline
+
+        b = load_baseline(str(path))
+        assert b.matches(diag(code="COALESCE001", severity="warning",
+                              location="downscaler kernel h_filter"))

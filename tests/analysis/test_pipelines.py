@@ -1,0 +1,78 @@
+"""Acceptance: the shipped downscaler routes pass the full analyzer suite.
+
+This is the headline requirement of the analysis subsystem: running every
+registered analyzer over both compilation routes must yield **zero
+error-severity** diagnostics (warnings such as the known uncoalesced
+horizontal-filter accesses are expected).
+"""
+
+import pytest
+
+from repro.apps.downscaler.config import CIF
+
+
+@pytest.fixture(scope="module")
+def sac_compiled():
+    from repro.apps.downscaler.sac_sources import NONGENERIC, downscaler_program_source
+    from repro.sac.backend import CompileOptions, compile_function
+    from repro.sac.parser import parse
+
+    prog = parse(downscaler_program_source(CIF, NONGENERIC))
+    return compile_function(prog, "downscale", CompileOptions(target="cuda", lint=True))
+
+
+@pytest.fixture(scope="module")
+def gaspard_ctx():
+    from repro.apps.downscaler.arrayol_model import (
+        downscaler_allocation,
+        downscaler_model,
+    )
+    from repro.arrayol.transform import GaspardContext, standard_chain
+
+    ctx = GaspardContext(
+        model=downscaler_model(CIF), allocation=downscaler_allocation()
+    )
+    return standard_chain(lint=True).run(ctx)
+
+
+class TestSacRoute:
+    def test_compile_with_lint_populates_diagnostics(self, sac_compiled):
+        assert isinstance(sac_compiled.diagnostics, tuple)
+        assert all(d.analyzer for d in sac_compiled.diagnostics)
+
+    def test_no_error_severity_findings(self, sac_compiled):
+        errors = [d for d in sac_compiled.diagnostics if d.is_error]
+        assert errors == []
+
+    def test_known_coalescing_warnings_present(self, sac_compiled):
+        # the horizontal filters read with a stride — the analyzer must see it
+        assert any(d.code == "COALESCE001" for d in sac_compiled.diagnostics)
+
+    def test_lint_off_by_default(self):
+        from repro.apps.downscaler.sac_sources import (
+            NONGENERIC,
+            downscaler_program_source,
+        )
+        from repro.sac.backend import CompileOptions, compile_function
+        from repro.sac.parser import parse
+
+        prog = parse(downscaler_program_source(CIF, NONGENERIC))
+        cf = compile_function(prog, "downscale", CompileOptions(target="cuda"))
+        assert cf.diagnostics == ()
+
+
+class TestGaspardRoute:
+    def test_chain_analyze_pass_populates_diagnostics(self, gaspard_ctx):
+        assert gaspard_ctx.diagnostics
+        assert all(d.analyzer for d in gaspard_ctx.diagnostics)
+
+    def test_no_error_severity_findings(self, gaspard_ctx):
+        assert [d for d in gaspard_ctx.diagnostics if d.is_error] == []
+
+    def test_lint_chain_has_analyze_pass(self):
+        from repro.arrayol.transform import standard_chain
+
+        names_with = [p.name for p in standard_chain(lint=True).passes]
+        names_without = [p.name for p in standard_chain().passes]
+        assert "analyze" in names_with
+        assert "analyze" not in names_without

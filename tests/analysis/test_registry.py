@@ -1,0 +1,169 @@
+"""Unit tests for the analyzer-pass registry and the convenience runners."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    AnalyzerPass,
+    Diagnostic,
+    analyze_model,
+    analyze_program,
+    analyze_sac_program,
+    get_pass,
+    register_pass,
+    registered_passes,
+    run_passes,
+)
+from repro.analysis import registry as registry_module
+from repro.errors import ReproError
+from repro.ir import (
+    AllocDevice,
+    ArrayParam,
+    BinOp,
+    Const,
+    DeviceProgram,
+    DeviceToHost,
+    HostToDevice,
+    IndexSpace,
+    Kernel,
+    LaunchKernel,
+    Read,
+    Store,
+    ThreadIdx,
+)
+
+
+def add_one_kernel(shape=(4, 8)):
+    return Kernel(
+        name="add_one",
+        space=IndexSpace((0, 0), shape),
+        arrays=(
+            ArrayParam("src", shape, intent="in"),
+            ArrayParam("dst", shape, intent="out"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                BinOp("+", Read("src", (ThreadIdx(0), ThreadIdx(1))), Const(1)),
+            ),
+        ),
+    )
+
+
+def wasteful_program():
+    k = add_one_kernel()
+    return DeviceProgram(
+        "p",
+        ops=(
+            AllocDevice("d_in", (4, 8)),
+            AllocDevice("d_out", (4, 8)),
+            HostToDevice("h_in", "d_in"),
+            HostToDevice("h_in", "d_in"),  # XFER001
+            LaunchKernel(k, (("src", "d_in"), ("dst", "d_out"))),
+            DeviceToHost("d_out", "h_out"),
+        ),
+        host_inputs=("h_in",),
+        host_outputs=("h_out",),
+    )
+
+
+class TestRegistry:
+    def test_builtin_passes_registered(self):
+        names = {p.name for p in registered_passes()}
+        assert {
+            "hazards",
+            "transfers",
+            "bounds",
+            "coalescing",
+            "sac-bindings",
+            "sac-generators",
+            "tilers",
+        } <= names
+
+    def test_passes_filtered_by_kind(self):
+        assert all(p.kind == "program" for p in registered_passes(kind="program"))
+        assert {p.name for p in registered_passes(kind="sac")} == {
+            "sac-bindings",
+            "sac-generators",
+        }
+        assert {p.name for p in registered_passes(kind="model")} == {"tilers"}
+
+    def test_get_pass(self):
+        assert get_pass("hazards").kind == "program"
+        with pytest.raises(ReproError, match="no analyzer pass named"):
+            get_pass("no-such-pass")
+
+    def test_register_duplicate_rejected(self):
+        existing = get_pass("hazards")
+        with pytest.raises(ReproError, match="already registered"):
+            register_pass(existing)
+
+    def test_register_custom_pass_and_replace(self):
+        def run(artifact, ctx):
+            return [
+                Diagnostic(code="XFER003", severity="info", message="custom")
+            ]
+
+        p = AnalyzerPass(
+            name="test-custom",
+            kind="program",
+            description="test only",
+            codes=("XFER003",),
+            run=run,
+        )
+        try:
+            register_pass(p)
+            assert get_pass("test-custom") is p
+            register_pass(p, replace=True)  # idempotent with replace
+            diags = run_passes(
+                wasteful_program(), "program", only=("test-custom",)
+            )
+            assert [d.analyzer for d in diags] == ["test-custom"]
+        finally:
+            registry_module._REGISTRY.pop("test-custom", None)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="kind"):
+            AnalyzerPass(
+                name="bad", kind="mystery", description="", codes=(), run=lambda a, c: []
+            )
+
+
+class TestRunners:
+    def test_diagnostics_tagged_with_analyzer(self):
+        diags = analyze_program(wasteful_program())
+        assert diags
+        assert all(d.analyzer for d in diags)
+        assert any(d.code == "XFER001" and d.analyzer == "transfers" for d in diags)
+
+    def test_only_filter_restricts_passes(self):
+        diags = run_passes(wasteful_program(), "program", only=("hazards",))
+        assert all(d.analyzer == "hazards" for d in diags)
+
+    def test_context_defaults(self):
+        ctx = AnalysisContext()
+        assert ctx.cost is not None and ctx.device is not None
+
+    def test_analyze_sac_program_runs_sac_passes(self):
+        from repro.sac.parser import parse
+
+        src = """
+int[8] f(int[8] a)
+{
+    dead = 1;
+    b = with {
+        (. <= iv <= .) : a[iv] * 2;
+    } : genarray([8]);
+    return b;
+}
+"""
+        diags = analyze_sac_program(parse(src, filename="f.sac"))
+        assert any(d.code == "SAC001" and d.analyzer == "sac-bindings" for d in diags)
+
+    def test_analyze_model_runs_tiler_pass(self):
+        from repro.apps.downscaler.arrayol_model import downscaler_model
+        from repro.apps.downscaler.config import CIF
+
+        diags = analyze_model(downscaler_model(CIF))
+        assert all(d.analyzer == "tilers" for d in diags)

@@ -1,0 +1,126 @@
+"""Unit tests for the SaC source lints (SAC001/002/003)."""
+
+from repro.analysis import (
+    find_binding_lints,
+    find_generator_overlaps,
+    lint_sac_program,
+)
+from repro.sac.parser import parse
+
+
+def by_code(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+CLEAN = """
+int[8] double_all(int[8] a)
+{
+    b = with {
+        (. <= iv <= .) : a[iv] * 2;
+    } : genarray([8]);
+    return b;
+}
+"""
+
+
+def test_clean_function_has_no_findings():
+    assert lint_sac_program(parse(CLEAN, filename="clean.sac")) == []
+
+
+def test_unused_local_binding_is_warning():
+    src = """
+int[8] f(int[8] a)
+{
+    dead = 7;
+    b = with {
+        (. <= iv <= .) : a[iv] * 2;
+    } : genarray([8]);
+    return b;
+}
+"""
+    diags = by_code(find_binding_lints(parse(src, filename="f.sac")), "SAC001")
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.severity == "warning"
+    assert "dead" in d.message
+    assert "f.sac" in d.location
+
+
+def test_unused_parameter_is_info():
+    src = """
+int[8] f(int[8] a, int[8] ignored)
+{
+    b = with {
+        (. <= iv <= .) : a[iv] * 2;
+    } : genarray([8]);
+    return b;
+}
+"""
+    diags = by_code(find_binding_lints(parse(src, filename="f.sac")), "SAC001")
+    assert len(diags) == 1
+    assert diags[0].severity == "info"
+    assert "ignored" in diags[0].message
+
+
+def test_generator_variable_shadowing_is_warning():
+    src = """
+int[8] f(int[8] a)
+{
+    i = 1;
+    b = with {
+        ([0] <= i < [8]) : a[i] + 0;
+    } : genarray([8]);
+    return b + i;
+}
+"""
+    diags = by_code(find_binding_lints(parse(src, filename="f.sac")), "SAC002")
+    assert len(diags) == 1
+    assert "i" in diags[0].message
+
+
+def test_overlapping_generators_is_error():
+    src = """
+int[8] f(int[8] a)
+{
+    b = with {
+        ([0] <= iv < [5]) : 1;
+        ([3] <= iv < [8]) : 2;
+    } : genarray([8]);
+    return b;
+}
+"""
+    diags = by_code(find_generator_overlaps(parse(src, filename="f.sac")), "SAC003")
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.severity == "error"
+    assert "f.sac" in d.location
+
+
+def test_disjoint_generators_do_not_overlap():
+    src = """
+int[8] f(int[8] a)
+{
+    b = with {
+        ([0] <= iv < [4]) : 1;
+        ([4] <= iv < [8]) : 2;
+    } : genarray([8]);
+    return b;
+}
+"""
+    assert find_generator_overlaps(parse(src, filename="f.sac")) == []
+
+
+def test_lint_sac_program_merges_all_analyses():
+    src = """
+int[8] f(int[8] a)
+{
+    dead = 7;
+    b = with {
+        ([0] <= iv < [5]) : 1;
+        ([3] <= iv < [8]) : 2;
+    } : genarray([8]);
+    return b;
+}
+"""
+    diags = lint_sac_program(parse(src, filename="f.sac"))
+    assert by_code(diags, "SAC001") and by_code(diags, "SAC003")

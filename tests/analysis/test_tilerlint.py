@@ -1,0 +1,87 @@
+"""Unit tests for the ArrayOL tiler lints (TILER001/002)."""
+
+from repro.analysis import lint_model, lint_tiler
+from repro.tilers import Tiler
+
+
+def by_code(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+def exact_tiler():
+    # 2 tiles of 2 elements paving a 4-element array exactly
+    return Tiler(
+        origin=(0,),
+        fitting=((1,),),
+        paving=((2,),),
+        array_shape=(4,),
+        pattern_shape=(2,),
+        repetition_shape=(2,),
+        name="exact",
+    )
+
+
+def overlapping_tiler():
+    # paving step 1 with pattern extent 2: element 1 is written twice
+    return Tiler(
+        origin=(0,),
+        fitting=((1,),),
+        paving=((1,),),
+        array_shape=(4,),
+        pattern_shape=(2,),
+        repetition_shape=(2,),
+        name="dup",
+    )
+
+
+def gappy_tiler():
+    # 1-element patterns paved with step 2 over 4 elements: 1 and 3 unwritten
+    return Tiler(
+        origin=(0,),
+        fitting=((1,),),
+        paving=((2,),),
+        array_shape=(4,),
+        pattern_shape=(1,),
+        repetition_shape=(2,),
+        name="gap",
+    )
+
+
+def test_exact_output_tiler_is_clean():
+    assert lint_tiler(exact_tiler(), role="output") == []
+
+
+def test_duplicating_output_tiler_is_error():
+    diags = lint_tiler(overlapping_tiler(), role="output", location="port 'o'")
+    dups = by_code(diags, "TILER001")
+    assert len(dups) == 1
+    d = dups[0]
+    assert d.severity == "error"
+    assert d.location == "port 'o'"
+
+
+def test_duplicating_input_tiler_is_allowed():
+    # reading the same element into several tiles is fine (sliding windows)
+    assert by_code(lint_tiler(overlapping_tiler(), role="input"), "TILER001") == []
+
+
+def test_gappy_output_tiler_is_error():
+    diags = by_code(lint_tiler(gappy_tiler(), role="output"), "TILER002")
+    assert len(diags) == 1
+    assert diags[0].severity == "error"
+
+
+def test_gappy_input_tiler_is_info():
+    # a partial read is legal — surfaced as info only
+    diags = by_code(lint_tiler(gappy_tiler(), role="input"), "TILER002")
+    assert len(diags) == 1
+    assert diags[0].severity == "info"
+    assert "partial read" in diags[0].message
+
+
+def test_shipped_downscaler_model_is_clean():
+    from repro.apps.downscaler.arrayol_model import downscaler_model
+    from repro.apps.downscaler.config import CIF
+
+    diags = lint_model(downscaler_model(CIF))
+    assert [d for d in diags if d.is_error] == []

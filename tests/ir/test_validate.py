@@ -1,0 +1,214 @@
+"""Validation corner cases: host transfer geometry, aliasing, op coverage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    AllocDevice,
+    ArrayParam,
+    BinOp,
+    Const,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    HostWork,
+    IndexSpace,
+    Kernel,
+    LaunchKernel,
+    Read,
+    Store,
+    ThreadIdx,
+    validate_program,
+)
+from repro.ir.program import Op
+
+
+def add_one_kernel(shape=(4, 8)):
+    return Kernel(
+        name="add_one",
+        space=IndexSpace((0, 0), shape),
+        arrays=(
+            ArrayParam("src", shape, intent="in"),
+            ArrayParam("dst", shape, intent="out"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                BinOp("+", Read("src", (ThreadIdx(0), ThreadIdx(1))), Const(1)),
+            ),
+        ),
+    )
+
+
+class TestTransferGeometry:
+    """Regression tests: H2D/D2H shapes and dtypes vs AllocDevice.
+
+    ``validate_program`` historically checked launch bindings but let a host
+    array flow to device buffers of contradictory geometry unnoticed.
+    """
+
+    def test_same_host_to_two_incompatible_buffers_rejected(self):
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_a", (4, 8)),
+                AllocDevice("d_b", (2, 2)),
+                HostToDevice("h", "d_a"),
+                HostToDevice("h", "d_b"),  # h cannot be both (4,8) and (2,2)
+            ),
+            host_inputs=("h",),
+        )
+        with pytest.raises(IRError, match="has shape"):
+            validate_program(p)
+
+    def test_same_host_dtype_mismatch_rejected(self):
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_a", (4, 8), "float32"),
+                AllocDevice("d_b", (4, 8), "int32"),
+                HostToDevice("h", "d_a"),
+                HostToDevice("h", "d_b"),
+            ),
+            host_inputs=("h",),
+        )
+        with pytest.raises(IRError, match="has dtype"):
+            validate_program(p)
+
+    def test_consistent_reupload_accepted(self):
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_a", (4, 8)),
+                AllocDevice("d_b", (4, 8)),
+                HostToDevice("h", "d_a"),
+                HostToDevice("h", "d_b"),
+            ),
+            host_inputs=("h",),
+        )
+        validate_program(p)
+
+    def test_download_redefines_host_geometry(self):
+        # h is first a (4,8) upload; the (2,2) download re-defines it, and
+        # the subsequent upload must match the *new* geometry
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_big", (4, 8)),
+                AllocDevice("d_small", (2, 2)),
+                HostToDevice("h", "d_big"),
+                DeviceToHost("d_small", "h"),
+                HostToDevice("h", "d_small"),
+            ),
+            host_inputs=("h",),
+        )
+        validate_program(p)
+
+    def test_upload_conflicting_with_download_rejected(self):
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_big", (4, 8)),
+                AllocDevice("d_small", (2, 2)),
+                HostToDevice("h", "d_big"),
+                DeviceToHost("d_small", "h"),
+                HostToDevice("h", "d_big"),  # h is (2,2) now
+            ),
+            host_inputs=("h",),
+        )
+        with pytest.raises(IRError, match="has shape"):
+            validate_program(p)
+
+    def test_host_step_clears_geometry(self):
+        def reshape(env):
+            env["h"] = np.asarray(env["h"]).reshape(2, 2)
+
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_big", (4, 8)),
+                AllocDevice("d_small", (2, 2)),
+                HostToDevice("h", "d_big"),
+                HostCompute("reshape", reshape, reads=("h",), writes=("h",),
+                            work=HostWork(items=1)),
+                HostToDevice("h", "d_small"),  # fine: host code may reshape
+            ),
+            host_inputs=("h",),
+        )
+        validate_program(p)
+
+
+class TestLifetimeAndAliasing:
+    def test_realloc_after_free_accepted(self):
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d", (4,)),
+                FreeDevice("d"),
+                AllocDevice("d", (8,)),
+                FreeDevice("d"),
+            ),
+        )
+        validate_program(p)
+
+    def test_write_aliasing_rejected(self):
+        k = add_one_kernel()
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d", (4, 8)),
+                HostToDevice("h", "d"),
+                LaunchKernel(k, (("src", "d"), ("dst", "d"))),
+            ),
+            host_inputs=("h",),
+        )
+        with pytest.raises(IRError, match="aliasing"):
+            validate_program(p)
+
+    def test_read_only_aliasing_accepted(self):
+        shape = (4, 8)
+        k = Kernel(
+            name="add2",
+            space=IndexSpace((0, 0), shape),
+            arrays=(
+                ArrayParam("a", shape, intent="in"),
+                ArrayParam("b", shape, intent="in"),
+                ArrayParam("out", shape, intent="out"),
+            ),
+            body=(
+                Store(
+                    "out",
+                    (ThreadIdx(0), ThreadIdx(1)),
+                    BinOp(
+                        "+",
+                        Read("a", (ThreadIdx(0), ThreadIdx(1))),
+                        Read("b", (ThreadIdx(0), ThreadIdx(1))),
+                    ),
+                ),
+            ),
+        )
+        p = DeviceProgram(
+            "p",
+            ops=(
+                AllocDevice("d_in", shape),
+                AllocDevice("d_out", shape),
+                HostToDevice("h", "d_in"),
+                LaunchKernel(k, (("a", "d_in"), ("b", "d_in"), ("out", "d_out"))),
+            ),
+            host_inputs=("h",),
+        )
+        validate_program(p)
+
+
+class TestOpCoverage:
+    def test_unknown_op_rejected(self):
+        class Mystery(Op):
+            pass
+
+        p = DeviceProgram("p", ops=(Mystery(),))
+        with pytest.raises(IRError, match="unknown op"):
+            validate_program(p)

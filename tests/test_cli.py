@@ -55,3 +55,64 @@ def test_experiment_table1_small(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# -- repro lint ----------------------------------------------------------------
+
+
+def test_lint_routes_clean(capsys):
+    # acceptance: the shipped pipelines carry no error-severity findings
+    assert main(["lint", "--size", "cif"]) == 0
+    out = capsys.readouterr().out
+    assert "SaC non-generic" in out
+    assert "Gaspard2" in out
+    assert "0 error(s)" in out
+
+
+def test_lint_json_output(capsys):
+    import json
+
+    assert main(["lint", "--size", "cif", "--route", "sac", "--format", "json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["counts"]["error"] == 0
+    assert all("code" in d for d in out["diagnostics"])
+
+
+def test_lint_baseline_suppresses(tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline"
+    baseline.write_text("# known uncoalesced filter reads\nCOALESCE001\n")
+    assert main(
+        ["lint", "--size", "cif", "--baseline", str(baseline)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "suppressed by baseline" in out
+    assert "COALESCE001" not in out.split("suppressed")[0]
+
+
+def test_lint_sac_file_with_errors_exits_1(tmp_path, capsys):
+    src = tmp_path / "bad.sac"
+    src.write_text(
+        "int[8] f(int[8] a) { b = with { ([0] <= iv < [5]) : 1; "
+        "([3] <= iv < [8]) : 2; } : genarray([8]); return b; }"
+    )
+    assert main(["lint", "--file", str(src)]) == 1
+    out = capsys.readouterr().out
+    assert "SAC003" in out
+
+
+def test_lint_sac_file_with_entry_compiles(tmp_path, capsys):
+    src = tmp_path / "ok.sac"
+    src.write_text(
+        "int[8] f(int[8] a) { b = with { (. <= iv <= .) : a[iv] * 2; } "
+        ": genarray([8]); return b; }"
+    )
+    assert main(["lint", "--file", str(src), "--entry", "f"]) == 0
+    out = capsys.readouterr().out
+    assert "entry" in out
+
+
+def test_lint_parse_error_exits_3(tmp_path, capsys):
+    src = tmp_path / "broken.sac"
+    src.write_text("int[8] f(int[8] a) { this is not sac }")
+    assert main(["lint", "--file", str(src)]) == 3
+    assert "error:" in capsys.readouterr().err
