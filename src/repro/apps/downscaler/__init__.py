@@ -15,6 +15,11 @@ from repro.apps.downscaler.sac_sources import (
     NONGENERIC,
     downscaler_program_source,
 )
+from repro.apps.downscaler.serving import (
+    GaspardDownscalerJob,
+    SacDownscalerJob,
+    downscaler_job,
+)
 from repro.apps.downscaler.video import channels_of, synthetic_frame, video_frames
 
 __all__ = [
@@ -24,4 +29,5 @@ __all__ = [
     "GENERIC", "NONGENERIC", "downscaler_program_source",
     "synthetic_frame", "video_frames", "channels_of",
     "DownscalerLab", "OperationTable", "Figure9Row", "Figure12Series",
+    "downscaler_job", "SacDownscalerJob", "GaspardDownscalerJob",
 ]

@@ -28,15 +28,13 @@ from repro.apps.downscaler.arrayol_model import downscaler_allocation, downscale
 from repro.apps.downscaler.config import HD, FrameSize, horizontal_filter, vertical_filter
 from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC, downscaler_program_source
 from repro.apps.downscaler.video import channels_of, synthetic_frame
-from repro.arrayol.transform import GaspardContext, standard_chain
 from repro.cpu import CPUExecutor
 from repro.errors import ReproError
 from repro.gpu import CostModel, CostParams, GPUExecutor, GTX480_CALIBRATED, Profiler
 from repro.gpu.profiler import ProfileRow
 from repro.ir.program import AllocDevice, DeviceProgram, DeviceToHost, HostToDevice, LaunchKernel
-from repro.ir.validate import validate_program
-from repro.sac.backend import CompileOptions, compile_function
-from repro.sac.parser import parse
+from repro.runtime.cache import CompileCache
+from repro.sac.backend import CompileOptions
 
 __all__ = [
     "OperationTable",
@@ -93,7 +91,8 @@ class DownscalerLab:
         self.frames = frames
         self.params = params
         self.validate = validate
-        self._programs: dict = {}
+        #: memoises both routes' compilations (with hit/miss statistics)
+        self.cache = CompileCache()
         self._frame0 = synthetic_frame(size, 0)
         self._golden0 = {
             c: reference.downscale_frame(self._frame0[..., i], size)
@@ -103,26 +102,13 @@ class DownscalerLab:
     # -- compilation -------------------------------------------------------------
 
     def sac_compiled(self, variant: str, target: str, entry: str = "downscale"):
-        key = ("sac", variant, target, entry)
-        if key not in self._programs:
-            prog = parse(downscaler_program_source(self.size, variant))
-            cf = compile_function(prog, entry, CompileOptions(target=target))
-            if target == "cuda":
-                validate_program(cf.program)
-            self._programs[key] = cf
-        return self._programs[key]
+        source = downscaler_program_source(self.size, variant)
+        return self.cache.compile_sac(source, entry, CompileOptions(target=target))
 
     def gaspard_compiled(self):
-        key = ("gaspard",)
-        if key not in self._programs:
-            ctx = GaspardContext(
-                model=downscaler_model(self.size), allocation=downscaler_allocation()
-            )
-            chain = standard_chain()
-            ctx = chain.run(ctx)
-            validate_program(ctx.program)
-            self._programs[key] = (ctx, chain)
-        return self._programs[key]
+        return self.cache.compile_gaspard(
+            downscaler_model(self.size), downscaler_allocation()
+        )
 
     # -- execution helpers -----------------------------------------------------------
 

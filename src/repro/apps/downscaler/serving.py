@@ -1,0 +1,99 @@
+"""Pipeline jobs serving the downscaler through ``repro.runtime``.
+
+Adapts both compilation routes to :class:`~repro.runtime.pipeline.
+FramePipeline`: the SaC route runs one program per RGB channel (a batch
+of three runs per video frame, the paper's 900-transfer accounting), the
+Gaspard2 route runs one three-channel program per frame.  Golden outputs
+come from the NumPy reference, so the pipeline's validation stage checks
+bit-exactness end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.downscaler import reference
+from repro.apps.downscaler.arrayol_model import downscaler_allocation, downscaler_model
+from repro.apps.downscaler.config import HD, FrameSize
+from repro.apps.downscaler.sac_sources import NONGENERIC, downscaler_program_source
+from repro.apps.downscaler.video import channels_of, synthetic_frame
+from repro.errors import ReproError
+from repro.ir.program import DeviceProgram
+from repro.runtime.cache import CompileCache
+from repro.runtime.pipeline import PipelineJob
+
+__all__ = ["SacDownscalerJob", "GaspardDownscalerJob", "downscaler_job"]
+
+_CHANNELS = "rgb"
+
+
+class _DownscalerJobBase(PipelineJob):
+    def __init__(self, size: FrameSize = HD):
+        self.size = size
+
+    def _frame(self, t: int) -> np.ndarray:
+        return synthetic_frame(self.size, t)
+
+    def _golden_channel(self, t: int, channel: str) -> np.ndarray:
+        chans = channels_of(self._frame(t))
+        return reference.downscale_frame(chans[channel], self.size)
+
+
+class SacDownscalerJob(_DownscalerJobBase):
+    """SaC/CUDA route: one program run per RGB channel (batch of 3)."""
+
+    instances_per_frame = 3
+
+    def __init__(self, size: FrameSize = HD, variant: str = NONGENERIC):
+        super().__init__(size)
+        self.variant = variant
+        self.name = f"sac-{'nongeneric' if variant == NONGENERIC else 'generic'}"
+
+    def compile(self, cache: CompileCache) -> DeviceProgram:
+        from repro.sac.backend import CompileOptions
+
+        source = downscaler_program_source(self.size, self.variant)
+        cf = cache.compile_sac(source, "downscale", CompileOptions(target="cuda"))
+        return cf.program
+
+    def env(self, frame: int, instance: int) -> dict[str, np.ndarray]:
+        channel = _CHANNELS[instance]
+        return {"frame": channels_of(self._frame(frame))[channel]}
+
+    def golden(self, frame: int, instance: int, program: DeviceProgram):
+        out = program.host_outputs[0]
+        return {out: self._golden_channel(frame, _CHANNELS[instance])}
+
+
+class GaspardDownscalerJob(_DownscalerJobBase):
+    """Gaspard2/OpenCL route: one three-channel program run per frame."""
+
+    name = "gaspard"
+    instances_per_frame = 1
+
+    def compile(self, cache: CompileCache) -> DeviceProgram:
+        ctx, _chain = cache.compile_gaspard(
+            downscaler_model(self.size), downscaler_allocation()
+        )
+        return ctx.program
+
+    def env(self, frame: int, instance: int) -> dict[str, np.ndarray]:
+        return {
+            f"in_{c}": v for c, v in channels_of(self._frame(frame)).items()
+        }
+
+    def golden(self, frame: int, instance: int, program: DeviceProgram):
+        return {
+            f"out_{c}": self._golden_channel(frame, c) for c in _CHANNELS
+        }
+
+
+def downscaler_job(
+    route: str, size: FrameSize = HD, variant: str = NONGENERIC
+) -> PipelineJob:
+    """The pipeline job of one compilation route (``"sac"``/``"gaspard"``)."""
+    if route == "sac":
+        return SacDownscalerJob(size, variant)
+    if route == "gaspard":
+        return GaspardDownscalerJob(size)
+    raise ReproError(f"unknown pipeline route {route!r}")

@@ -4,11 +4,14 @@ Subcommands::
 
     repro compile-sac FILE --entry F [--target cuda|seq] [--emit]
     repro gaspard [--size hd|cif] [--emit]
-    repro experiment {table1,table2,figure9,figure12,claims,all}
-                     [--frames N] [--size hd|cif]
+    repro experiment {table1,table2,figure9,figure12,claims,overlap,all}
+                     [--frames N] [--size hd|cif] [--json]
     repro downscale [--size hd|cif] [--variant nongeneric|generic]
                     [--route sac|gaspard]
     repro overlap [--size hd|cif] [--frames N]
+    repro pipeline [--route sac|gaspard|both] [--size hd|cif] [--frames N]
+                   [--variant nongeneric|generic] [--depth D] [--serialize]
+                   [--no-validate] [--lint] [--json]
     repro lint [--route sac|gaspard|all] [--size hd|cif]
                [--format text|json] [--baseline FILE]
                [--file SAC_FILE --entry F]
@@ -91,7 +94,61 @@ def _cmd_gaspard(args) -> int:
     return EXIT_OK
 
 
+def _table_as_dict(t) -> dict:
+    return {
+        "title": t.title,
+        "total_us": round(t.total_us, 3),
+        "rows": [
+            {
+                "operation": r.operation,
+                "calls": r.calls,
+                "gpu_time_us": round(r.gpu_time_us, 3),
+                "gpu_time_pct": round(r.gpu_time_pct, 3),
+            }
+            for r in t.rows
+        ],
+    }
+
+
+def _overlap_results(size, frames: int) -> list[tuple[str, object]]:
+    """``overlapped_makespan`` of both SaC variants (bench_overlap's result)."""
+    from repro.apps.downscaler.sac_sources import (
+        GENERIC,
+        NONGENERIC,
+        downscaler_program_source,
+    )
+    from repro.apps.downscaler.video import synthetic_frame
+    from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED, overlapped_makespan
+    from repro.sac.backend import CompileOptions, compile_function
+    from repro.sac.parser import parse
+
+    frame = synthetic_frame(size, 0)[..., 0]
+    results = []
+    for variant in (NONGENERIC, GENERIC):
+        program = parse(downscaler_program_source(size, variant))
+        compiled = compile_function(program, "downscale", CompileOptions(target="cuda"))
+        ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+        ex.run(compiled.program, {"frame": frame})
+        results.append((variant, overlapped_makespan(compiled.program, ex, frames=frames)))
+    return results
+
+
+def _overlap_as_dict(variant: str, result, frames: int) -> dict:
+    return {
+        "variant": variant,
+        "frames": frames,
+        "serial_us": round(result.serial_us, 3),
+        "overlapped_us": round(result.overlapped_us, 3),
+        "speedup": round(result.speedup, 4),
+        "engine_busy_us": {
+            e: round(result.engine_busy_us(e), 3) for e in ("h2d", "compute", "d2h")
+        },
+    }
+
+
 def _cmd_experiment(args) -> int:
+    import json
+
     from repro.apps.downscaler import DownscalerLab
     from repro.report import (
         PAPER_TABLE1,
@@ -99,33 +156,77 @@ def _cmd_experiment(args) -> int:
         render_comparison,
         render_figure9,
         render_figure12,
+        render_gantt,
         render_operation_table,
     )
 
     lab = DownscalerLab(size=_size(args.size), frames=args.frames)
     which = args.which
+    doc: dict = {"size": args.size, "frames": args.frames}
 
     if which in ("table1", "all"):
         t = lab.table1()
-        print(render_operation_table(t))
-        print()
-        print(render_comparison(t, PAPER_TABLE1, frames=args.frames))
-        print()
+        if args.json:
+            doc["table1"] = _table_as_dict(t)
+        else:
+            print(render_operation_table(t))
+            print()
+            print(render_comparison(t, PAPER_TABLE1, frames=args.frames))
+            print()
     if which in ("table2", "all"):
         t = lab.table2()
-        print(render_operation_table(t))
-        print()
-        print(render_comparison(t, PAPER_TABLE2, frames=args.frames))
-        print()
+        if args.json:
+            doc["table2"] = _table_as_dict(t)
+        else:
+            print(render_operation_table(t))
+            print()
+            print(render_comparison(t, PAPER_TABLE2, frames=args.frames))
+            print()
     if which in ("figure9", "all"):
-        print(render_figure9(lab.figure9()))
+        rows = lab.figure9()
+        if args.json:
+            doc["figure9"] = [
+                {
+                    "configuration": r.configuration,
+                    "hfilter_s": round(r.hfilter_s, 6),
+                    "vfilter_s": round(r.vfilter_s, 6),
+                }
+                for r in rows
+            ]
+        else:
+            print(render_figure9(rows))
     if which in ("figure12", "all"):
-        print(render_figure12(lab.figure12()))
+        series = lab.figure12()
+        if args.json:
+            doc["figure12"] = {
+                "operations": list(series.operations),
+                "sac_s": [round(v, 6) for v in series.sac_s],
+                "gaspard_s": [round(v, 6) for v in series.gaspard_s],
+            }
+        else:
+            print(render_figure12(series))
     if which in ("claims", "all"):
-        print("headline claims (paper: 4.5x / 3x generic slowdown, up to 11x")
-        print("GPU speedup, ~50% transfer share, routes within 85%):")
-        for k, v in lab.headline_claims().items():
-            print(f"  {k:34s} {v:8.2f}")
+        claims = lab.headline_claims()
+        if args.json:
+            doc["claims"] = {k: round(v, 4) for k, v in claims.items()}
+        else:
+            print("headline claims (paper: 4.5x / 3x generic slowdown, up to 11x")
+            print("GPU speedup, ~50% transfer share, routes within 85%):")
+            for k, v in claims.items():
+                print(f"  {k:34s} {v:8.2f}")
+    if which in ("overlap", "all"):
+        results = _overlap_results(_size(args.size), args.frames)
+        if args.json:
+            doc["overlap"] = [
+                _overlap_as_dict(v, r, args.frames) for v, r in results
+            ]
+        else:
+            for variant, result in results:
+                print(f"=== {variant} variant, {args.frames} frames ===")
+                print(render_gantt(result))
+                print()
+    if args.json:
+        print(json.dumps(doc, indent=2))
     return EXIT_OK
 
 
@@ -154,25 +255,94 @@ def _cmd_downscale(args) -> int:
 
 
 def _cmd_overlap(args) -> int:
-    from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC, downscaler_program_source
-    from repro.apps.downscaler.video import synthetic_frame
-    from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED, overlapped_makespan
     from repro.report import render_gantt
-    from repro.sac.backend import CompileOptions, compile_function
-    from repro.sac.parser import parse
 
-    size = _size(args.size)
-    frame = synthetic_frame(size, 0)[..., 0]
-    for variant in (NONGENERIC, GENERIC):
-        program = parse(downscaler_program_source(size, variant))
-        compiled = compile_function(program, "downscale", CompileOptions(target="cuda"))
-        ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
-        ex.run(compiled.program, {"frame": frame})
-        result = overlapped_makespan(compiled.program, ex, frames=args.frames)
+    for variant, result in _overlap_results(_size(args.size), args.frames):
         print(f"=== {variant} variant, {args.frames} frames ===")
         print(render_gantt(result))
         print()
     return EXIT_OK
+
+
+def _render_pipeline_report(r) -> str:
+    occ = " | ".join(
+        f"{e} {100 * r.engine_occupancy.get(e, 0.0):.1f}%"
+        for e in ("h2d", "compute", "d2h")
+    )
+    lines = [
+        f"=== pipeline {r.job}: {r.frames} frames x "
+        f"{r.instances // r.frames} run(s) ({r.program}) ===",
+        f"  compile:    {r.cache.misses} miss(es), {r.cache.hits} hit(s) "
+        f"(hit rate {100 * r.cache.hit_rate:.1f}%)",
+        f"  serial:     {r.serial_us:12.1f} us",
+        f"  overlapped: {r.overlapped_us:12.1f} us  (speedup {r.speedup:.2f}x, "
+        f"depth {r.depth}{', serialized' if r.serialize else ''})",
+        f"  frames/s:   {r.frames_per_second:12.1f}",
+        f"  latency:    p50 {r.latency_p50_us:.1f} us, p95 {r.latency_p95_us:.1f} us",
+        f"  engines:    {occ}  (busy/makespan)",
+        f"  transfers:  {100 * r.transfer_share_serial:.1f}% of serial time "
+        f"(paper claims ~50%)",
+        f"  validated:  {r.validated_instances} run(s) bit-exact vs NumPy reference",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_pipeline(args) -> int:
+    import json
+
+    from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC
+    from repro.apps.downscaler.serving import downscaler_job
+    from repro.runtime import FramePipeline, check_pipeline_hazards
+
+    size = _size(args.size)
+    variant = NONGENERIC if args.variant == "nongeneric" else GENERIC
+    routes = ("sac", "gaspard") if args.route == "both" else (args.route,)
+    depth = None if args.depth == 0 else args.depth
+    pipe = FramePipeline(
+        depth=depth,
+        serialize=args.serialize,
+        validate="none" if args.no_validate else "first",
+    )
+
+    doc: dict = {"size": args.size, "frames": args.frames, "routes": []}
+    hazard_failures = 0
+    for route in routes:
+        job = downscaler_job(route, size=size, variant=variant)
+        report = pipe.run(job, frames=args.frames)
+        entry = report.as_dict()
+        if not args.json:
+            print(_render_pipeline_report(report))
+        if args.lint:
+            program = job.compile(pipe.cache)
+            runs = min(args.frames * job.instances_per_frame, 6)
+            haz = check_pipeline_hazards(
+                program, pipe.executor, runs=runs,
+                depth=depth, serialize=args.serialize,
+            )
+            hazard_failures += len(haz.unexpected) + len(haz.schedule_violations)
+            entry["hazards"] = {
+                "runs": haz.runs,
+                "unexpected": [d.message for d in haz.unexpected],
+                "resolved": len(haz.resolved),
+                "schedule_violations": list(haz.schedule_violations),
+            }
+            if not args.json:
+                status = "clean" if haz.clean else "FINDINGS"
+                print(
+                    f"  hazards:    {status} over {haz.runs} unrolled run(s) "
+                    f"({len(haz.resolved)} recycle hazard(s) certified by the "
+                    f"schedule, {len(haz.unexpected)} unexpected)"
+                )
+                for d in haz.unexpected:
+                    print(f"    {d.message}")
+                for v in haz.schedule_violations:
+                    print(f"    schedule: {v}")
+        if not args.json:
+            print()
+        doc["routes"].append(entry)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    return EXIT_LINT_ERRORS if hazard_failures else EXIT_OK
 
 
 def _cmd_lint(args) -> int:
@@ -285,16 +455,55 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("experiment", help="regenerate a paper artefact")
     p.add_argument(
         "which",
-        choices=("table1", "table2", "figure9", "figure12", "claims", "all"),
+        choices=(
+            "table1", "table2", "figure9", "figure12", "claims", "overlap", "all",
+        ),
     )
     p.add_argument("--frames", type=int, default=300)
     p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     p.set_defaults(fn=_cmd_experiment)
 
     p = sub.add_parser("overlap", help="stream-pipelining what-if experiment")
     p.add_argument("--size", choices=("hd", "cif"), default="hd")
     p.add_argument("--frames", type=int, default=12)
     p.set_defaults(fn=_cmd_overlap)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="serve the synthetic video through the stream-overlapped runtime",
+        description=(
+            "Runs either compilation route (or both) over the synthetic video "
+            "with the repro.runtime frame pipeline: cached compilation, "
+            "bit-exact validation, and a three-engine overlapped schedule "
+            "reported against the serial total."
+        ),
+    )
+    p.add_argument("--route", choices=("sac", "gaspard", "both"), default="both")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument("--frames", type=int, default=300)
+    p.add_argument(
+        "--variant", choices=("nongeneric", "generic"), default="nongeneric",
+        help="SaC route variant",
+    )
+    p.add_argument(
+        "--depth", type=int, default=2,
+        help="device buffer slots per array (0 = one per run)",
+    )
+    p.add_argument(
+        "--serialize", action="store_true",
+        help="disable overlap (the paper's measurement regime)",
+    )
+    p.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the bit-exact functional check",
+    )
+    p.add_argument(
+        "--lint", action="store_true",
+        help="race-check the unrolled pipeline (exit 1 on unexpected findings)",
+    )
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p.set_defaults(fn=_cmd_pipeline)
 
     p = sub.add_parser("downscale", help="downscale one synthetic frame")
     p.add_argument("--size", choices=("hd", "cif"), default="hd")

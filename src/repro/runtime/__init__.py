@@ -1,0 +1,48 @@
+"""The execution runtime: what turns the reproduction into a server.
+
+The paper's central empirical finding is that the async transfers both
+routes issue eat roughly half the total time because the measurements
+serialise them (Tables I/II).  This package executes compiled
+:class:`~repro.ir.program.DeviceProgram` artefacts the way the hardware's
+three engines (H2D copy, compute, D2H copy) actually could:
+
+* :mod:`repro.runtime.schedule` — the dependence scheduler (engine FIFO,
+  RAW/WAR/WAW over ``depth``-deep recycled buffer slots, serialise knob);
+* :mod:`repro.runtime.executor` — :class:`StreamExecutor`, bit-exact
+  functional execution charged at the overlapped makespan;
+* :mod:`repro.runtime.cache` — :class:`CompileCache`, memoised
+  compilation for both routes with hit/miss/invalidation statistics;
+* :mod:`repro.runtime.pipeline` — :class:`FramePipeline`, the batched
+  frame server (compile -> upload -> launch -> download with
+  double-buffering and throughput/latency metrics);
+* :mod:`repro.runtime.unroll` — pipeline unrolling for the static
+  analyses plus the hazard certification of the overlapped schedule.
+
+``repro pipeline`` drives it from the CLI.
+"""
+
+from repro.runtime.cache import CacheStats, CompileCache, gaspard_key, sac_key
+from repro.runtime.executor import StreamExecutor, StreamRunResult
+from repro.runtime.pipeline import FramePipeline, PipelineJob, PipelineReport
+from repro.runtime.schedule import (
+    PipelineSchedule,
+    ScheduledNode,
+    build_schedule,
+    schedule_violations,
+)
+from repro.runtime.unroll import (
+    PipelineHazardReport,
+    ResolvedHazard,
+    UnrolledPipeline,
+    check_pipeline_hazards,
+    unroll_pipeline,
+)
+
+__all__ = [
+    "build_schedule", "schedule_violations", "PipelineSchedule", "ScheduledNode",
+    "StreamExecutor", "StreamRunResult",
+    "CompileCache", "CacheStats", "sac_key", "gaspard_key",
+    "FramePipeline", "PipelineJob", "PipelineReport",
+    "unroll_pipeline", "UnrolledPipeline",
+    "check_pipeline_hazards", "PipelineHazardReport", "ResolvedHazard",
+]

@@ -1,0 +1,169 @@
+"""CompileCache: memoised compilation for both routes.
+
+Every frame of the paper's 300-frame experiments runs the *same* two
+compiled programs, yet the seed reproduction recompiled per use.  The
+cache keys each route on everything that determines its output:
+
+* **SaC**: the source text, the entry function and every field of
+  :class:`~repro.sac.backend.CompileOptions` (target, optimisation flags,
+  wrap splitting, lint) — a changed flag is a changed key, so ablations
+  never see stale programs;
+* **ArrayOL/Gaspard2**: the application model, the MARTE allocation and
+  the transformation-chain configuration (pass names + lint).
+
+Keys are content digests, so two textually identical sources share an
+entry regardless of identity.  Hit/miss/invalidation counts are kept in
+:class:`CacheStats` — the ``repro pipeline`` report shows them, and the
+acceptance gate requires >= frames-1 hits per route over a video run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["CacheStats", "CompileCache", "sac_key", "gaspard_key"]
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def sac_key(source: str, entry: str, options) -> tuple:
+    """Cache key of one SaC compilation (source x entry x options)."""
+    return ("sac", entry, _digest(source, repr(options)))
+
+
+def gaspard_key(model, allocation, chain_passes=(), lint: bool = False) -> tuple:
+    """Cache key of one Gaspard2 chain run (model x allocation x chain)."""
+    return (
+        "gaspard",
+        _digest(repr(model), repr(allocation), repr(tuple(chain_passes)), repr(bool(lint))),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters of a :class:`CompileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.invalidations)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            invalidations=self.invalidations - earlier.invalidations,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class CompileCache:
+    """Memoises compilation results under explicit content keys."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, Any] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get_or_compile(self, key: tuple, builder: Callable[[], Any]) -> Any:
+        """Return the cached artefact for ``key``, building it on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            value = self._entries[key] = builder()
+        else:
+            self.stats.hits += 1
+        return value
+
+    def invalidate(self, key: tuple) -> bool:
+        """Drop one entry; returns whether it existed."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were invalidated."""
+        n = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += n
+        return n
+
+    # -- route-specific conveniences ----------------------------------------
+
+    def compile_sac(self, source: str, entry: str, options=None):
+        """Parse + compile a SaC source through the cache.
+
+        Returns the :class:`~repro.sac.backend.CompiledFunction`; CUDA
+        programs are validated once on miss.
+        """
+        from repro.sac.backend import CompileOptions, compile_function
+        from repro.sac.parser import parse
+
+        options = CompileOptions() if options is None else options
+
+        def build():
+            cf = compile_function(parse(source), entry, options)
+            if options.target == "cuda":
+                from repro.ir.validate import validate_program
+
+                validate_program(cf.program)
+            return cf
+
+        return self.get_or_compile(sac_key(source, entry, options), build)
+
+    def compile_gaspard(self, model, allocation, lint: bool = False):
+        """Run the Gaspard2 chain through the cache.
+
+        Returns ``(ctx, chain)`` — the transformed
+        :class:`~repro.arrayol.transform.GaspardContext` and the chain that
+        produced it (for its trace).
+        """
+        from repro.arrayol.transform import GaspardContext, standard_chain
+        from repro.ir.validate import validate_program
+
+        chain_probe = standard_chain(lint=lint)
+        key = gaspard_key(
+            model, allocation, (p.name for p in chain_probe.passes), lint
+        )
+
+        def build():
+            ctx = GaspardContext(model=model, allocation=allocation)
+            ctx = chain_probe.run(ctx)
+            validate_program(ctx.program)
+            return (ctx, chain_probe)
+
+        return self.get_or_compile(key, build)

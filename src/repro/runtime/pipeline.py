@@ -1,0 +1,220 @@
+"""FramePipeline: the batched frame-pipeline server.
+
+Drives a frame source through the full serving loop — compile (through
+the :class:`~repro.runtime.cache.CompileCache`), upload, launch, download
+— with double-buffering across frames: frame *n+1*'s H2D streams on the
+copy engine while frame *n*'s kernels occupy the SMs, the overlap the
+paper's async transfer calls set up but its measurements serialise.  A
+frame is a *batch* of program runs (the three RGB channel runs of the SaC
+route; one three-channel run for the Gaspard2 route), and the report
+carries per-stage throughput/latency metrics: modelled frames/s, p50/p95
+frame latency, per-engine busy time and occupancy, serial-vs-overlapped
+totals and the compile-cache counters.
+
+A :class:`PipelineJob` adapts a workload to the pipeline; the downscaler
+jobs live in :mod:`repro.apps.downscaler.serving`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.gpu.calibration import GTX480_CALIBRATED
+from repro.gpu.cost import CostModel, CostParams
+from repro.gpu.executor import GPUExecutor
+from repro.ir.program import DeviceProgram, DeviceToHost, HostToDevice
+from repro.runtime.cache import CacheStats, CompileCache
+from repro.runtime.schedule import PipelineSchedule, build_schedule
+
+__all__ = ["PipelineJob", "PipelineReport", "FramePipeline"]
+
+
+class PipelineJob:
+    """What a workload must provide to be served by the pipeline.
+
+    Subclasses implement:
+
+    * :attr:`name` — job label for reports;
+    * :attr:`instances_per_frame` — program runs per frame (the channel
+      batch size);
+    * :meth:`compile` — produce the :class:`DeviceProgram` *through the
+      given cache* (called once per frame, so the cache's hit counters
+      reflect the per-frame compile stage);
+    * :meth:`env` — the host environment of one (frame, instance) run;
+    * :meth:`golden` — the expected outputs of one run (or ``None`` to
+      skip validation of that run).
+    """
+
+    name: str = "job"
+    instances_per_frame: int = 1
+
+    def compile(self, cache: CompileCache) -> DeviceProgram:
+        raise NotImplementedError
+
+    def env(self, frame: int, instance: int) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def golden(
+        self, frame: int, instance: int, program: DeviceProgram
+    ) -> dict[str, np.ndarray] | None:
+        return None
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Everything one pipeline run measured."""
+
+    job: str
+    program: str
+    frames: int
+    instances: int
+    depth: int
+    serialize: bool
+    serial_us: float
+    overlapped_us: float
+    frames_per_second: float
+    latency_p50_us: float
+    latency_p95_us: float
+    engine_busy_us: dict[str, float]
+    engine_occupancy: dict[str, float]
+    #: serial share of transfer time (the paper's ~50 % claim)
+    transfer_share_serial: float
+    cache: CacheStats
+    validated_instances: int
+    schedule: PipelineSchedule = field(compare=False, default=None)
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_us / self.overlapped_us if self.overlapped_us else 1.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "job": self.job,
+            "program": self.program,
+            "frames": self.frames,
+            "instances": self.instances,
+            "depth": self.depth,
+            "serialize": self.serialize,
+            "serial_us": round(self.serial_us, 3),
+            "overlapped_us": round(self.overlapped_us, 3),
+            "speedup": round(self.speedup, 4),
+            "frames_per_second": round(self.frames_per_second, 3),
+            "latency_p50_us": round(self.latency_p50_us, 3),
+            "latency_p95_us": round(self.latency_p95_us, 3),
+            "engine_busy_us": {k: round(v, 3) for k, v in self.engine_busy_us.items()},
+            "engine_occupancy": {
+                k: round(v, 4) for k, v in self.engine_occupancy.items()
+            },
+            "transfer_share_serial": round(self.transfer_share_serial, 4),
+            "cache": self.cache.as_dict(),
+            "validated_instances": self.validated_instances,
+        }
+
+
+class FramePipeline:
+    """Serves a frame job over the stream-overlapped execution engine."""
+
+    def __init__(
+        self,
+        params: CostParams = GTX480_CALIBRATED,
+        depth: int | None = 2,
+        serialize: bool = False,
+        cache: CompileCache | None = None,
+        validate: str = "first",
+    ):
+        if validate not in ("first", "all", "none"):
+            raise ValueError(f"validate must be first/all/none, not {validate!r}")
+        self.executor = GPUExecutor(CostModel(params))
+        self.depth = depth
+        self.serialize = serialize
+        self.cache = cache if cache is not None else CompileCache()
+        self.validate = validate
+
+    def _validate(self, job: PipelineJob, program: DeviceProgram, frame: int,
+                  instance: int) -> bool:
+        expected = job.golden(frame, instance, program)
+        if expected is None:
+            return False
+        result = self.executor.run(program, job.env(frame, instance))
+        for name, want in expected.items():
+            got = result.outputs.get(name)
+            if got is None or not np.array_equal(got, want):
+                raise ReproError(
+                    f"pipeline {job.name}: output {name!r} of frame {frame} "
+                    f"instance {instance} is not bit-exact against the golden "
+                    f"reference"
+                )
+        return True
+
+    def run(self, job: PipelineJob, frames: int) -> PipelineReport:
+        """Serve ``frames`` frames of ``job``; returns the metrics report."""
+        if frames <= 0:
+            raise ValueError("frames must be positive")
+        before = self.cache.stats.snapshot()
+
+        # compile stage: once per frame through the cache (a real server
+        # compiles on frame arrival; the cache makes every frame after the
+        # first a hit)
+        program = None
+        for f in range(frames):
+            program = job.compile(self.cache)
+        cache_delta = self.cache.stats.since(before)
+
+        # functional stage: bit-exact validation against the job's golden
+        validated = 0
+        if self.validate == "first":
+            validated += int(self._validate(job, program, 0, 0))
+        elif self.validate == "all":
+            for f in range(frames):
+                for i in range(job.instances_per_frame):
+                    validated += int(self._validate(job, program, f, i))
+
+        # temporal stage: schedule every run across the three engines
+        runs = frames * job.instances_per_frame
+        schedule = build_schedule(
+            program, self.executor, runs=runs, depth=self.depth,
+            serialize=self.serialize,
+        )
+        latencies = schedule.latencies_us(batch=job.instances_per_frame)
+        makespan = schedule.makespan_us
+        busy = {e: schedule.engine_busy_us(e) for e in schedule.engines}
+        transfer_serial = self._transfer_serial_us(program, runs)
+
+        return PipelineReport(
+            job=job.name,
+            program=program.name,
+            frames=frames,
+            instances=runs,
+            depth=schedule.depth,
+            serialize=self.serialize,
+            serial_us=schedule.serial_us,
+            overlapped_us=makespan,
+            frames_per_second=frames / (makespan / 1e6) if makespan else 0.0,
+            latency_p50_us=float(np.percentile(latencies, 50)) if latencies else 0.0,
+            latency_p95_us=float(np.percentile(latencies, 95)) if latencies else 0.0,
+            engine_busy_us=busy,
+            engine_occupancy=schedule.engine_occupancy(),
+            transfer_share_serial=(
+                transfer_serial / schedule.serial_us if schedule.serial_us else 0.0
+            ),
+            cache=cache_delta,
+            validated_instances=validated,
+            schedule=schedule,
+        )
+
+    def _transfer_serial_us(self, program: DeviceProgram, runs: int) -> float:
+        cost = self.executor.cost
+        sizes = {}
+        total = 0.0
+        for op in program.ops:
+            if hasattr(op, "nbytes") and hasattr(op, "buffer"):
+                sizes[op.buffer] = op.nbytes
+            elif isinstance(op, HostToDevice):
+                total += cost.h2d_time_us(sizes[op.device])
+            elif isinstance(op, DeviceToHost):
+                total += cost.d2h_time_us(sizes[op.device])
+        return total * runs

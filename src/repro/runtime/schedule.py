@@ -1,0 +1,392 @@
+"""The three-engine pipeline scheduler: the runtime's timing core.
+
+Generalises :func:`repro.gpu.stream.overlapped_makespan` — the what-if
+analysis of the paper's serialised ``memcpy*async`` calls — into the
+scheduling engine the runtime actually executes on:
+
+* **three device engines** (H2D copy, compute, D2H copy — Fermi's dual
+  copy engines plus the SMs) each process their operations in FIFO order;
+* **true data dependences**: a kernel waits for the writers of every
+  buffer it reads, a download waits for the writer of its buffer, a host
+  step waits for the downloads it consumes and blocks subsequent issue;
+* **bounded double-buffering**: device buffers are backed by ``depth``
+  physical slots recycled round-robin across program runs, so a write
+  into a recycled slot additionally waits for every reader of the slot's
+  previous occupant (the WAR dependence the static happens-before model
+  of :mod:`repro.analysis.hazards` cannot see — see
+  :mod:`repro.runtime.unroll`);
+* a **serialise knob**: with ``serialize=True`` every operation waits for
+  the previous one, reproducing the paper's measured behaviour (the
+  ablation baseline the overlapped numbers are reported against).
+
+With ``depth >= runs`` no slot is ever recycled and a schedule's makespan
+coincides with :func:`~repro.gpu.stream.overlapped_makespan` on the same
+program (asserted by the tier-1 tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+from repro.ir.program import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    LaunchKernel,
+)
+
+__all__ = [
+    "ScheduledNode",
+    "PipelineSchedule",
+    "build_schedule",
+    "schedule_violations",
+]
+
+#: resource kinds used in scheduled-node access records
+DEV = "dev"
+HOST = "host"
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One operation placed on the pipeline timeline."""
+
+    id: int
+    run: int  # which back-to-back program run issued the op
+    op_index: int  # index into ``program.ops``
+    name: str
+    engine: str  # "h2d" | "compute" | "d2h" | "host"
+    start_us: float
+    end_us: float
+    #: node ids this operation waited on (data, WAR/WAW and host deps;
+    #: engine-FIFO predecessors are implicit in the per-engine order)
+    deps: tuple[int, ...] = ()
+    #: resources read: (kind, name) — device resources carry their slot
+    reads: tuple[tuple[str, str], ...] = ()
+    #: resources written
+    writes: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """A complete schedule of ``runs`` back-to-back program executions."""
+
+    program: str
+    runs: int
+    depth: int
+    serialize: bool
+    serial_us: float
+    nodes: tuple[ScheduledNode, ...] = field(compare=False)
+
+    @property
+    def makespan_us(self) -> float:
+        return max((n.end_us for n in self.nodes), default=0.0)
+
+    @property
+    def speedup(self) -> float:
+        m = self.makespan_us
+        return self.serial_us / m if m else 1.0
+
+    @property
+    def engines(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for n in self.nodes:
+            if n.engine not in seen:
+                seen.append(n.engine)
+        return tuple(seen)
+
+    def engine_busy_us(self, engine: str) -> float:
+        return sum(n.duration_us for n in self.nodes if n.engine == engine)
+
+    def engine_occupancy(self) -> dict[str, float]:
+        """Fraction of the makespan each engine spends busy."""
+        span = self.makespan_us
+        if span <= 0:
+            return {e: 0.0 for e in self.engines}
+        return {e: self.engine_busy_us(e) / span for e in self.engines}
+
+    def run_nodes(self, run: int) -> tuple[ScheduledNode, ...]:
+        return tuple(n for n in self.nodes if n.run == run)
+
+    def latencies_us(self, batch: int = 1) -> list[float]:
+        """Per-frame modelled latency, grouping ``batch`` consecutive runs
+        into one frame (e.g. the three RGB channel runs of one video
+        frame): time from the frame's first issued op starting to its last
+        op finishing."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        spans: dict[int, tuple[float, float]] = {}
+        for n in self.nodes:
+            g = n.run // batch
+            lo, hi = spans.get(g, (n.start_us, n.end_us))
+            spans[g] = (min(lo, n.start_us), max(hi, n.end_us))
+        return [hi - lo for _, (lo, hi) in sorted(spans.items())]
+
+
+def build_schedule(
+    program: DeviceProgram,
+    executor,
+    runs: int = 1,
+    depth: int | None = 2,
+    serialize: bool = False,
+) -> PipelineSchedule:
+    """Schedule ``runs`` back-to-back executions of ``program``.
+
+    ``executor`` supplies per-op durations (a
+    :class:`~repro.gpu.executor.GPUExecutor`; nothing is executed
+    functionally).  ``depth`` is the number of physical slots backing each
+    device buffer (``None`` — one per run, i.e. unbounded buffering);
+    ``serialize=True`` chains every operation after the previous one.
+    """
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    depth = runs if depth is None else depth
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    cost = executor.cost
+
+    nbytes: dict[str, int] = {}
+    engine_ready: dict[str, float] = {"h2d": 0.0, "compute": 0.0, "d2h": 0.0}
+    #: per resource: (writer node id | None, writer end, [(reader id, reader end), ...])
+    writer: dict[tuple[str, str], tuple[int, float]] = {}
+    readers: dict[tuple[str, str], list[tuple[int, float]]] = {}
+    host_sync = 0.0
+    host_barrier: int | None = None
+    prev_node: tuple[int, float] | None = None  # for serialize
+    nodes: list[ScheduledNode] = []
+    serial = 0.0
+
+    def dev(buffer: str, run: int) -> tuple[str, str]:
+        return (DEV, f"{buffer}@s{run % depth}")
+
+    def host_res(name: str, run: int) -> tuple[str, str]:
+        return (HOST, f"{name}@r{run}")
+
+    def wait_read(res: tuple[str, str], after: float, deps: set[int]) -> float:
+        w = writer.get(res)
+        if w is not None:
+            deps.add(w[0])
+            after = max(after, w[1])
+        return after
+
+    def wait_write(res: tuple[str, str], after: float, deps: set[int]) -> float:
+        after = wait_read(res, after, deps)  # WAW
+        for rid, rend in readers.get(res, ()):  # WAR (slot recycling)
+            deps.add(rid)
+            after = max(after, rend)
+        return after
+
+    def place(
+        run: int,
+        op_index: int,
+        name: str,
+        engine: str,
+        dur: float,
+        after: float,
+        deps: set[int],
+        read_res: tuple[tuple[str, str], ...],
+        write_res: tuple[tuple[str, str], ...],
+    ) -> ScheduledNode:
+        nonlocal prev_node
+        if host_barrier is not None:
+            deps.add(host_barrier)
+        after = max(after, host_sync)
+        if serialize and prev_node is not None:
+            deps.add(prev_node[0])
+            after = max(after, prev_node[1])
+        start = max(engine_ready.get(engine, 0.0), after)
+        end = start + dur
+        if engine in engine_ready:
+            engine_ready[engine] = end
+        node = ScheduledNode(
+            id=len(nodes),
+            run=run,
+            op_index=op_index,
+            name=name,
+            engine=engine,
+            start_us=start,
+            end_us=end,
+            deps=tuple(sorted(deps)),
+            reads=read_res,
+            writes=write_res,
+        )
+        nodes.append(node)
+        for res in write_res:
+            writer[res] = (node.id, end)
+            readers[res] = []
+        for res in read_res:
+            readers.setdefault(res, []).append((node.id, end))
+        prev_node = (node.id, end)
+        return node
+
+    for run in range(runs):
+        for i, op in enumerate(program.ops):
+            if isinstance(op, AllocDevice):
+                nbytes[op.buffer] = op.nbytes
+            elif isinstance(op, FreeDevice):
+                pass
+            elif isinstance(op, HostToDevice):
+                if op.device not in nbytes:
+                    raise DeviceError(f"H2D into unallocated buffer {op.device!r}")
+                dur = cost.h2d_time_us(nbytes[op.device])
+                serial += dur
+                deps: set[int] = set()
+                res = dev(op.device, run)
+                after = wait_write(res, 0.0, deps)
+                place(
+                    run, i, f"h2d:{op.device}", "h2d", dur, after, deps,
+                    read_res=(host_res(op.host, run),), write_res=(res,),
+                )
+            elif isinstance(op, LaunchKernel):
+                dur = executor.kernel_breakdown(op.kernel).total_us
+                serial += dur
+                deps = set()
+                after = 0.0
+                read_res: list[tuple[str, str]] = []
+                write_res: list[tuple[str, str]] = []
+                for param, buf in op.array_args:
+                    res = dev(buf, run)
+                    intent = op.kernel.array(param).intent
+                    if intent in ("in", "inout"):
+                        read_res.append(res)
+                        after = wait_read(res, after, deps)
+                    if intent in ("out", "inout"):
+                        write_res.append(res)
+                        after = wait_write(res, after, deps)
+                place(
+                    run, i, op.kernel.name, "compute", dur, after, deps,
+                    read_res=tuple(read_res), write_res=tuple(write_res),
+                )
+            elif isinstance(op, DeviceToHost):
+                if op.device not in nbytes:
+                    raise DeviceError(f"D2H from unallocated buffer {op.device!r}")
+                dur = cost.d2h_time_us(nbytes[op.device])
+                serial += dur
+                deps = set()
+                res = dev(op.device, run)
+                out_res = host_res(op.host, run)
+                after = wait_read(res, 0.0, deps)
+                after = wait_write(out_res, after, deps)
+                place(
+                    run, i, f"d2h:{op.device}", "d2h", dur, after, deps,
+                    read_res=(res,), write_res=(out_res,),
+                )
+            elif isinstance(op, HostCompute):
+                dur = cost.host_work_time_us(op.work)
+                serial += dur
+                deps = set()
+                after = 0.0
+                read_res = []
+                write_res = []
+                for name in op.reads:
+                    res = host_res(name, run)
+                    read_res.append(res)
+                    after = wait_read(res, after, deps)
+                for name in op.writes:
+                    res = host_res(name, run)
+                    write_res.append(res)
+                    after = wait_write(res, after, deps)
+                node = place(
+                    run, i, op.name, "host", dur, after, deps,
+                    read_res=tuple(read_res), write_res=tuple(write_res),
+                )
+                host_sync = node.end_us
+                host_barrier = node.id
+            else:
+                raise DeviceError(f"scheduler cannot handle {op!r}")
+
+    return PipelineSchedule(
+        program=program.name,
+        runs=runs,
+        depth=depth,
+        serialize=serialize,
+        serial_us=serial,
+        nodes=tuple(nodes),
+    )
+
+
+def schedule_violations(schedule: PipelineSchedule) -> list[str]:
+    """Check a schedule against every constraint it claims to respect.
+
+    Returns human-readable violation descriptions (empty means the
+    schedule is valid): RAW (a read starting before its writer finishes),
+    WAW/WAR (a write starting before the previous writer or any of its
+    readers finish — slot recycling safety), and per-engine FIFO order.
+    Used by the property tests and the pipeline hazard check.
+    """
+    out: list[str] = []
+
+    # per-engine FIFO: issue order == time order, no overlap
+    by_engine: dict[str, list[ScheduledNode]] = {}
+    for n in schedule.nodes:
+        by_engine.setdefault(n.engine, []).append(n)
+    for engine, ns in by_engine.items():
+        if engine == "host":
+            continue  # host steps are ordered via host_sync, checked below
+        for a, b in zip(ns, ns[1:]):
+            if b.start_us < a.end_us - _EPS:
+                out.append(
+                    f"engine {engine}: node {b.id} ({b.name}) starts at "
+                    f"{b.start_us:.3f} before node {a.id} ({a.name}) ends at "
+                    f"{a.end_us:.3f}"
+                )
+
+    # data dependences, replayed in issue order per resource
+    last_writer: dict[tuple[str, str], ScheduledNode] = {}
+    last_readers: dict[tuple[str, str], list[ScheduledNode]] = {}
+    for n in schedule.nodes:
+        for res in n.reads:
+            w = last_writer.get(res)
+            if w is not None and n.start_us < w.end_us - _EPS:
+                out.append(
+                    f"RAW on {res}: node {n.id} ({n.name}) reads at "
+                    f"{n.start_us:.3f} before writer {w.id} ({w.name}) ends at "
+                    f"{w.end_us:.3f}"
+                )
+        for res in n.writes:
+            w = last_writer.get(res)
+            if w is not None and n.start_us < w.end_us - _EPS:
+                out.append(
+                    f"WAW on {res}: node {n.id} ({n.name}) writes at "
+                    f"{n.start_us:.3f} before writer {w.id} ({w.name}) ends at "
+                    f"{w.end_us:.3f}"
+                )
+            for r in last_readers.get(res, ()):
+                if n.start_us < r.end_us - _EPS:
+                    out.append(
+                        f"WAR on {res}: node {n.id} ({n.name}) writes at "
+                        f"{n.start_us:.3f} before reader {r.id} ({r.name}) ends "
+                        f"at {r.end_us:.3f}"
+                    )
+        for res in n.writes:
+            last_writer[res] = n
+            last_readers[res] = []
+        for res in n.reads:
+            last_readers.setdefault(res, []).append(n)
+
+    # host steps serialise against each other and block later issue
+    hosts = [n for n in schedule.nodes if n.engine == "host"]
+    for a, b in zip(hosts, hosts[1:]):
+        if b.start_us < a.end_us - _EPS:
+            out.append(
+                f"host: node {b.id} ({b.name}) starts before node {a.id} "
+                f"({a.name}) ends"
+            )
+    for h in hosts:
+        for n in schedule.nodes:
+            if n.id > h.id and n.start_us < h.end_us - _EPS:
+                out.append(
+                    f"host barrier: node {n.id} ({n.name}) issued after host "
+                    f"step {h.id} ({h.name}) but starts before it ends"
+                )
+    return out

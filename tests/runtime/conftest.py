@@ -1,0 +1,63 @@
+"""Shared compiled artefacts for the runtime tests (CIF scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.downscaler import CIF, GENERIC, NONGENERIC, downscaler_program_source
+from repro.apps.downscaler.arrayol_model import downscaler_allocation, downscaler_model
+from repro.apps.downscaler.video import channels_of, synthetic_frame
+from repro.arrayol.transform import GaspardContext, standard_chain
+from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.parser import parse
+
+
+@pytest.fixture(scope="package")
+def sac_programs():
+    """Compiled CIF downscaler programs of both SaC variants."""
+    out = {}
+    for variant in (NONGENERIC, GENERIC):
+        prog = parse(downscaler_program_source(CIF, variant))
+        cf = compile_function(prog, "downscale", CompileOptions(target="cuda"))
+        out[variant] = cf.program
+    return out
+
+
+@pytest.fixture(scope="package")
+def gaspard_program():
+    """The Gaspard2 OpenCL program at CIF."""
+    ctx = GaspardContext(
+        model=downscaler_model(CIF), allocation=downscaler_allocation()
+    )
+    return standard_chain().run(ctx).program
+
+
+@pytest.fixture
+def executor():
+    return GPUExecutor(CostModel(GTX480_CALIBRATED))
+
+
+@pytest.fixture(scope="package")
+def sac_env():
+    """Host environment of one SaC channel run."""
+    return {"frame": channels_of(synthetic_frame(CIF, 0))["r"]}
+
+
+@pytest.fixture(scope="package")
+def gaspard_env():
+    return {f"in_{c}": v for c, v in channels_of(synthetic_frame(CIF, 0)).items()}
+
+
+@pytest.fixture(scope="package")
+def toy_program():
+    """A host-step-free program (h2d -> kernel -> d2h): the pure
+    streaming shape whose recycled slots the static race detector cannot
+    discharge."""
+    src = (
+        "int[64] f(int[64] a) { b = with { (. <= iv <= .) : a[iv] * 2; } "
+        ": genarray([64]); return b; }"
+    )
+    cf = compile_function(parse(src), "f", CompileOptions(target="cuda"))
+    assert cf.host_step_count == 0
+    return cf.program

@@ -1,0 +1,64 @@
+"""StreamExecutor: bit-exact outputs, overlapped charging."""
+
+import numpy as np
+import pytest
+
+from repro.apps.downscaler import CIF, HD, GENERIC, NONGENERIC, reference
+from repro.apps.downscaler.sac_sources import downscaler_program_source
+from repro.apps.downscaler.video import channels_of, synthetic_frame
+from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED
+from repro.runtime import StreamExecutor
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.parser import parse
+
+
+def _stream():
+    return StreamExecutor(CostModel(GTX480_CALIBRATED))
+
+
+@pytest.mark.parametrize("variant", [NONGENERIC, GENERIC])
+def test_bit_exact_vs_serial_executor_sac(sac_programs, sac_env, variant):
+    program = sac_programs[variant]
+    serial = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(program, dict(sac_env))
+    stream = _stream().run(program, dict(sac_env), runs=3)
+    assert set(stream.outputs) == set(serial.outputs)
+    for name, arr in serial.outputs.items():
+        np.testing.assert_array_equal(stream.outputs[name], arr)
+    # charged time is the schedule makespan, not the serial sum
+    assert stream.serial_us == pytest.approx(serial.total_us * 3, rel=1e-9)
+    assert stream.total_us <= stream.serial_us + 1e-6
+    assert stream.speedup >= 1.0
+
+
+def test_bit_exact_vs_serial_executor_gaspard(gaspard_program, gaspard_env):
+    serial = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(
+        gaspard_program, dict(gaspard_env)
+    )
+    stream = _stream().run(gaspard_program, dict(gaspard_env), runs=2)
+    for name, arr in serial.outputs.items():
+        np.testing.assert_array_equal(stream.outputs[name], arr)
+
+
+@pytest.mark.parametrize("size", [CIF, HD])
+def test_matches_numpy_golden(size):
+    program = compile_function(
+        parse(downscaler_program_source(size, NONGENERIC)),
+        "downscale",
+        CompileOptions(target="cuda"),
+    ).program
+    channel = channels_of(synthetic_frame(size, 0))["g"]
+    golden = reference.downscale_frame(channel, size)
+    result = _stream().run(program, {"frame": channel}, runs=2)
+    np.testing.assert_array_equal(result.outputs[program.host_outputs[0]], golden)
+
+
+def test_serialize_fallback_charges_serial_time(sac_programs, sac_env):
+    ex = StreamExecutor(CostModel(GTX480_CALIBRATED), serialize=True)
+    r = ex.run(sac_programs[NONGENERIC], dict(sac_env), runs=3)
+    assert r.overlapped_us == pytest.approx(r.serial_us, abs=1e-6)
+
+
+def test_nonfunctional_run_skips_outputs(sac_programs):
+    r = _stream().run(sac_programs[NONGENERIC], functional=False, runs=2)
+    assert r.outputs == {}
+    assert r.overlapped_us > 0

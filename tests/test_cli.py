@@ -116,3 +116,93 @@ def test_lint_parse_error_exits_3(tmp_path, capsys):
     src.write_text("int[8] f(int[8] a) { this is not sac }")
     assert main(["lint", "--file", str(src)]) == 3
     assert "error:" in capsys.readouterr().err
+
+
+# -- repro pipeline / experiment overlap ---------------------------------------
+
+
+def test_pipeline_both_routes(capsys):
+    assert main(["pipeline", "--size", "cif", "--frames", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline sac-nongeneric" in out
+    assert "pipeline gaspard" in out
+    assert "1 miss(es), 1 hit(s)" in out
+    assert "bit-exact" in out
+
+
+def test_pipeline_json(capsys):
+    import json
+
+    assert main(
+        ["pipeline", "--size", "cif", "--frames", "3", "--route", "sac", "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    (route,) = doc["routes"]
+    assert route["job"] == "sac-nongeneric"
+    assert route["frames"] == 3
+    assert route["cache"] == {
+        "hits": 2, "misses": 1, "invalidations": 0, "hit_rate": 0.6667,
+    }
+    assert route["overlapped_us"] < route["serial_us"]
+    assert route["engine_occupancy"]["h2d"] > 0
+
+
+def test_pipeline_lint_certifies_hazards(capsys):
+    assert main(
+        ["pipeline", "--size", "cif", "--frames", "2", "--route", "gaspard",
+         "--lint"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "hazards:    clean" in out
+
+
+def test_pipeline_serialize_ablation(capsys):
+    import json
+
+    assert main(
+        ["pipeline", "--size", "cif", "--frames", "2", "--route", "gaspard",
+         "--serialize", "--no-validate", "--json"]
+    ) == 0
+    (route,) = json.loads(capsys.readouterr().out)["routes"]
+    assert route["serialize"] is True
+    assert route["overlapped_us"] == route["serial_us"]
+    assert route["validated_instances"] == 0
+
+
+def test_experiment_overlap(capsys):
+    assert main(
+        ["experiment", "overlap", "--frames", "3", "--size", "cif"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "nongeneric variant, 3 frames" in out
+    assert "generic variant, 3 frames" in out
+
+
+def test_experiment_overlap_json(capsys):
+    import json
+
+    assert main(
+        ["experiment", "overlap", "--frames", "3", "--size", "cif", "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    variants = {o["variant"]: o for o in doc["overlap"]}
+    assert set(variants) == {"nongeneric", "generic"}
+    non = variants["nongeneric"]
+    assert non["overlapped_us"] <= non["serial_us"]
+    assert set(non["engine_busy_us"]) == {"h2d", "compute", "d2h"}
+
+
+def test_experiment_table_json(capsys):
+    import json
+
+    assert main(
+        ["experiment", "table1", "--frames", "2", "--size", "cif", "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    t = doc["table1"]
+    assert t["total_us"] > 0
+    assert any("memcpyHtoDasync" in r["operation"] for r in t["rows"])
+    assert all(
+        set(r) == {"operation", "calls", "gpu_time_us", "gpu_time_pct"}
+        for r in t["rows"]
+    )
