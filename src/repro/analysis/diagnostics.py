@@ -69,6 +69,10 @@ class Diagnostic:
     wasted_us:
         Modelled microseconds the defect wastes per run (transfer lints tie
         findings to the paper's ~50 % transfer-share observation).
+    fixable_by:
+        Machine-readable name of the :mod:`repro.opt` pass that removes
+        this defect (``"transfer-elimination"``, ``"dce"``, …), empty when
+        no pass fixes it automatically.
     """
 
     code: str
@@ -78,6 +82,7 @@ class Diagnostic:
     hint: str = ""
     analyzer: str = field(default="", compare=False)
     wasted_us: float | None = field(default=None, compare=False)
+    fixable_by: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -111,6 +116,8 @@ class Diagnostic:
             out["analyzer"] = self.analyzer
         if self.wasted_us is not None:
             out["wasted_us"] = round(self.wasted_us, 3)
+        if self.fixable_by:
+            out["fixable_by"] = self.fixable_by
         return out
 
 

@@ -121,39 +121,58 @@ def _run_transfers(program: DeviceProgram, ctx: AnalysisContext):
     return transfers.find_transfer_waste(program, ctx.cost)
 
 
+def _launched_kernels(program: DeviceProgram):
+    """Yield ``(op index, kernel, scalar args)`` per launched plain kernel.
+
+    Fused launches are expanded into their stages so the per-kernel
+    analyses (bounds, coalescing) see the same kernels they saw before
+    fusion — the optimiser's certification depends on this.
+    """
+    from repro.ir.fused import FusedKernel
+
+    for i, op in enumerate(program.ops):
+        if not isinstance(op, LaunchKernel):
+            continue
+        if isinstance(op.kernel, FusedKernel):
+            for st in op.kernel.stages:
+                yield i, st.kernel, dict(st.scalar_args)
+        else:
+            yield i, op.kernel, dict(op.scalar_args)
+
+
 def _run_bounds(program: DeviceProgram, ctx: AnalysisContext):
     out: list[Diagnostic] = []
-    for i, op in enumerate(program.ops):
-        if isinstance(op, LaunchKernel):
-            out.extend(
-                bounds.check_kernel_bounds(
-                    op.kernel,
-                    scalars=dict(op.scalar_args),
-                    location=(
-                        f"program {program.name!r}: ops[{i}] "
-                        f"launch {op.kernel.name!r}"
-                    ),
-                )
+    for i, kernel, scalars in _launched_kernels(program):
+        out.extend(
+            bounds.check_kernel_bounds(
+                kernel,
+                scalars=scalars,
+                location=(
+                    f"program {program.name!r}: ops[{i}] "
+                    f"launch {kernel.name!r}"
+                ),
             )
+        )
     return out
 
 
 def _run_coalescing(program: DeviceProgram, ctx: AnalysisContext):
     out: list[Diagnostic] = []
     seen: set[str] = set()
-    for i, op in enumerate(program.ops):
-        if isinstance(op, LaunchKernel) and op.kernel.name not in seen:
-            seen.add(op.kernel.name)
-            out.extend(
-                coalesce.check_kernel_coalescing(
-                    op.kernel,
-                    device=ctx.device,
-                    location=(
-                        f"program {program.name!r}: ops[{i}] "
-                        f"launch {op.kernel.name!r}"
-                    ),
-                )
+    for i, kernel, _scalars in _launched_kernels(program):
+        if kernel.name in seen:
+            continue
+        seen.add(kernel.name)
+        out.extend(
+            coalesce.check_kernel_coalescing(
+                kernel,
+                device=ctx.device,
+                location=(
+                    f"program {program.name!r}: ops[{i}] "
+                    f"launch {kernel.name!r}"
+                ),
             )
+        )
     return out
 
 

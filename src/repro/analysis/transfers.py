@@ -64,6 +64,7 @@ def find_transfer_waste(
                 location=where,
                 hint="drop the DeviceToHost or consume the host array",
                 wasted_us=cost.d2h_time_us(nbytes) if nbytes else None,
+                fixable_by="dce",
             )
         )
 
@@ -91,6 +92,7 @@ def find_transfer_waste(
                         location=where,
                         hint="drop the HostToDevice; the data is resident",
                         wasted_us=cost.h2d_time_us(nbytes) if nbytes else None,
+                        fixable_by="transfer-elimination",
                     )
                 )
             resident[op.device] = (op.host, gen)
@@ -99,6 +101,9 @@ def find_transfer_waste(
                 dead_download(op.host, pending_d2h[op.host])
             pending_d2h[op.host] = i
             host_gen[op.host] = host_gen.get(op.host, 0) + 1
+            # after the download, host and device hold identical data — a
+            # subsequent re-upload of the pair is a pure PCIe round trip
+            resident[op.device] = (op.host, host_gen[op.host])
         elif isinstance(op, LaunchKernel):
             for param, buf in op.array_args:
                 launched.add(buf)
@@ -139,6 +144,7 @@ def find_transfer_waste(
                 location=where,
                 hint="remove the allocation (and its transfers), or launch on it",
                 wasted_us=wasted if wasted else None,
+                fixable_by="dce",
             )
         )
     return out

@@ -44,16 +44,30 @@ class SacDownscalerJob(_DownscalerJobBase):
 
     instances_per_frame = 3
 
-    def __init__(self, size: FrameSize = HD, variant: str = NONGENERIC):
+    def __init__(
+        self,
+        size: FrameSize = HD,
+        variant: str = NONGENERIC,
+        opt=None,
+        transfers: str = "boundary",
+    ):
         super().__init__(size)
         self.variant = variant
+        self.opt = opt
+        self.transfers = transfers
         self.name = f"sac-{'nongeneric' if variant == NONGENERIC else 'generic'}"
+        if opt is not None:
+            self.name += "+opt"
 
     def compile(self, cache: CompileCache) -> DeviceProgram:
         from repro.sac.backend import CompileOptions
 
         source = downscaler_program_source(self.size, self.variant)
-        cf = cache.compile_sac(source, "downscale", CompileOptions(target="cuda"))
+        cf = cache.compile_sac(
+            source,
+            "downscale",
+            CompileOptions(target="cuda", opt=self.opt, transfers=self.transfers),
+        )
         return cf.program
 
     def env(self, frame: int, instance: int) -> dict[str, np.ndarray]:
@@ -68,12 +82,22 @@ class SacDownscalerJob(_DownscalerJobBase):
 class GaspardDownscalerJob(_DownscalerJobBase):
     """Gaspard2/OpenCL route: one three-channel program run per frame."""
 
-    name = "gaspard"
     instances_per_frame = 1
+
+    def __init__(
+        self, size: FrameSize = HD, opt=None, transfers: str = "boundary"
+    ):
+        super().__init__(size)
+        self.opt = opt
+        self.transfers = transfers
+        self.name = "gaspard" if opt is None else "gaspard+opt"
 
     def compile(self, cache: CompileCache) -> DeviceProgram:
         ctx, _chain = cache.compile_gaspard(
-            downscaler_model(self.size), downscaler_allocation()
+            downscaler_model(self.size),
+            downscaler_allocation(),
+            opt=self.opt,
+            transfers=self.transfers,
         )
         return ctx.program
 
@@ -89,11 +113,20 @@ class GaspardDownscalerJob(_DownscalerJobBase):
 
 
 def downscaler_job(
-    route: str, size: FrameSize = HD, variant: str = NONGENERIC
+    route: str,
+    size: FrameSize = HD,
+    variant: str = NONGENERIC,
+    opt=None,
+    transfers: str = "boundary",
 ) -> PipelineJob:
-    """The pipeline job of one compilation route (``"sac"``/``"gaspard"``)."""
+    """The pipeline job of one compilation route (``"sac"``/``"gaspard"``).
+
+    ``opt`` (a :class:`repro.opt.OptOptions`) and ``transfers`` flow into
+    the route's compile options, so optimised and paper-literal placements
+    serve through the same pipeline.
+    """
     if route == "sac":
-        return SacDownscalerJob(size, variant)
+        return SacDownscalerJob(size, variant, opt=opt, transfers=transfers)
     if route == "gaspard":
-        return GaspardDownscalerJob(size)
+        return GaspardDownscalerJob(size, opt=opt, transfers=transfers)
     raise ReproError(f"unknown pipeline route {route!r}")

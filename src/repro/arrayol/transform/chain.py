@@ -38,6 +38,8 @@ class GaspardContext:
     sources: dict[str, str] = field(default_factory=dict)
     #: analyzer findings (populated by the optional ``analyze`` pass)
     diagnostics: list = field(default_factory=list)
+    #: repro.opt.OptReport (populated by the optional ``optimize`` pass)
+    opt_report: object = None
 
 
 @dataclass(frozen=True)

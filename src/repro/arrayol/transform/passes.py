@@ -184,7 +184,7 @@ def _generate_kernels(ctx: GaspardContext) -> None:
 # -- pass 7: program emission --------------------------------------------------------
 
 
-def _emit_program(ctx: GaspardContext) -> None:
+def _emit_program(ctx: GaspardContext, transfers: str = "boundary") -> None:
     top = ctx.model.top
     on_device: set[str] = set()
     host_defined: set[str] = set(p.name for p in top.inputs)
@@ -194,14 +194,18 @@ def _emit_program(ctx: GaspardContext) -> None:
     def dev(buf: str) -> str:
         return f"d_{buf}"
 
+    def alloc(buf: str) -> None:
+        if dev(buf) not in allocated:  # per_kernel mode revisits live buffers
+            ops.append(
+                AllocDevice(dev(buf), ctx.buffer_shapes[buf],
+                            ctx.buffer_dtypes.get(buf, "int32"))
+            )
+            allocated.append(dev(buf))
+
     def ensure_device(buf: str) -> None:
         if buf in on_device:
             return
-        ops.append(
-            AllocDevice(dev(buf), ctx.buffer_shapes[buf],
-                        ctx.buffer_dtypes.get(buf, "int32"))
-        )
-        allocated.append(dev(buf))
+        alloc(buf)
         ops.append(HostToDevice(buf, dev(buf)))
         on_device.add(buf)
 
@@ -216,11 +220,7 @@ def _emit_program(ctx: GaspardContext) -> None:
 
     def alloc_device_out(buf: str) -> None:
         if buf not in on_device:
-            ops.append(
-                AllocDevice(dev(buf), ctx.buffer_shapes[buf],
-                            ctx.buffer_dtypes.get(buf, "int32"))
-            )
-            allocated.append(dev(buf))
+            alloc(buf)
             on_device.add(buf)
 
     for inst_name in ctx.schedule:
@@ -244,6 +244,13 @@ def _emit_program(ctx: GaspardContext) -> None:
                 alloc_device_out(buf)
             args = tuple((a.name, dev(a.name)) for a in kernel.arrays)
             ops.append(LaunchKernel(kernel, args))
+            if transfers == "per_kernel":
+                # paper-literal placement: every device task's outputs come
+                # home immediately; the next task re-uploads its inputs
+                for buf in out_bufs:
+                    ops.append(DeviceToHost(dev(buf), buf))
+                    host_defined.add(buf)
+                on_device.clear()
         elif isinstance(task, IOTask):
             for buf in in_bufs:
                 ensure_host(buf)
@@ -360,7 +367,18 @@ def _analyze(ctx: GaspardContext) -> None:
         ctx.diagnostics.extend(analyze_program(ctx.program))
 
 
-def opencl_chain_passes(lint: bool = False) -> tuple[ModelPass, ...]:
+def _optimize(ctx: GaspardContext, options) -> None:
+    """Run the shared device-program optimiser over the emitted program."""
+    from repro.opt import optimize_program
+
+    ctx.program, ctx.opt_report = optimize_program(ctx.program, options)
+
+
+def opencl_chain_passes(
+    lint: bool = False, opt=None, transfers: str = "boundary"
+) -> tuple[ModelPass, ...]:
+    if transfers not in ("boundary", "per_kernel"):
+        raise TransformError(f"unknown transfer placement {transfers!r}")
     passes = (
         ModelPass("validate", _validate, "GILR well-formedness"),
         ModelPass("flatten_hierarchy", _flatten, "inline compound tasks"),
@@ -368,9 +386,21 @@ def opencl_chain_passes(lint: bool = False) -> tuple[ModelPass, ...]:
         ModelPass("bind_buffers", _bind_buffers, "dataflow buffer allocation"),
         ModelPass("map_ndranges", _map_ndranges, "repetition space -> ND-range"),
         ModelPass("generate_kernels", _generate_kernels, "one kernel per task"),
-        ModelPass("emit_program", _emit_program, "transfers + launches + IPs"),
+        ModelPass(
+            "emit_program",
+            lambda ctx: _emit_program(ctx, transfers=transfers),
+            "transfers + launches + IPs",
+        ),
         ModelPass("emit_sources", _emit_sources, "OpenCL model-to-text"),
     )
+    if opt is not None:
+        passes += (
+            ModelPass(
+                "optimize",
+                lambda ctx: _optimize(ctx, opt),
+                "shared device-program optimisation (repro.opt)",
+            ),
+        )
     if lint:
         passes += (
             ModelPass("analyze", _analyze, "static-analysis diagnostics"),
@@ -378,6 +408,16 @@ def opencl_chain_passes(lint: bool = False) -> tuple[ModelPass, ...]:
     return passes
 
 
-def standard_chain(lint: bool = False) -> TransformationChain:
-    """The Gaspard2 OpenCL chain (optionally ending in an analysis pass)."""
-    return TransformationChain(opencl_chain_passes(lint=lint))
+def standard_chain(
+    lint: bool = False, opt=None, transfers: str = "boundary"
+) -> TransformationChain:
+    """The Gaspard2 OpenCL chain (optionally ending in an analysis pass).
+
+    ``transfers="per_kernel"`` reproduces the paper's literal per-task
+    transfer placement; ``opt`` (a :class:`repro.opt.OptOptions`) appends
+    the shared device-program optimiser after emission, so the analysis
+    pass — and every consumer — sees the optimised program.
+    """
+    return TransformationChain(
+        opencl_chain_passes(lint=lint, opt=opt, transfers=transfers)
+    )

@@ -11,10 +11,15 @@ Subcommands::
     repro overlap [--size hd|cif] [--frames N]
     repro pipeline [--route sac|gaspard|both] [--size hd|cif] [--frames N]
                    [--variant nongeneric|generic] [--depth D] [--serialize]
-                   [--no-validate] [--lint] [--json]
+                   [--no-validate] [--lint] [--opt] [--json]
     repro lint [--route sac|gaspard|all] [--size hd|cif]
-               [--format text|json] [--baseline FILE]
+               [--format text|json] [--baseline FILE] [--assert-clean]
                [--file SAC_FILE --entry F]
+    repro opt [--route sac|gaspard|both] [--size hd|cif]
+              [--variant nongeneric|generic]
+              [--transfers boundary|per_kernel]
+              [--no-dce] [--no-transfer-elim] [--no-fusion] [--no-pooling]
+              [--no-certify] [--json]
 
 Exit codes (all subcommands):
 
@@ -310,8 +315,30 @@ def _cmd_pipeline(args) -> int:
         job = downscaler_job(route, size=size, variant=variant)
         report = pipe.run(job, frames=args.frames)
         entry = report.as_dict()
+        opt_entry = None
         if not args.json:
             print(_render_pipeline_report(report))
+        if args.opt:
+            from repro.opt import OptOptions
+
+            opt_job = downscaler_job(
+                route, size=size, variant=variant, opt=OptOptions()
+            )
+            opt_report = pipe.run(opt_job, frames=args.frames)
+            opt_entry = opt_report.as_dict()
+            opt_entry["baseline_job"] = report.job
+            opt_entry["fps_speedup_vs_baseline"] = round(
+                opt_report.frames_per_second / report.frames_per_second, 4
+            )
+            if not args.json:
+                print(_render_pipeline_report(opt_report))
+                print(
+                    f"  --opt:      {report.frames_per_second:.1f} -> "
+                    f"{opt_report.frames_per_second:.1f} frames/s "
+                    f"({opt_entry['fps_speedup_vs_baseline']:.2f}x), "
+                    f"p95 latency {report.latency_p95_us:.1f} -> "
+                    f"{opt_report.latency_p95_us:.1f} us"
+                )
         if args.lint:
             program = job.compile(pipe.cache)
             runs = min(args.frames * job.instances_per_frame, 6)
@@ -340,9 +367,87 @@ def _cmd_pipeline(args) -> int:
         if not args.json:
             print()
         doc["routes"].append(entry)
+        if opt_entry is not None:
+            doc["routes"].append(opt_entry)
     if args.json:
         print(json.dumps(doc, indent=2))
     return EXIT_LINT_ERRORS if hazard_failures else EXIT_OK
+
+
+def _cmd_opt(args) -> int:
+    """Optimise the compiled downscaler routes; print before/after reports."""
+    import json
+
+    from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED
+    from repro.opt import OptOptions, optimize_program
+
+    size = _size(args.size)
+    options = OptOptions(
+        dce=not args.no_dce,
+        transfers=not args.no_transfer_elim,
+        fusion=not args.no_fusion,
+        pooling=not args.no_pooling,
+        certify=not args.no_certify,
+    )
+    routes = ("sac", "gaspard") if args.route == "both" else (args.route,)
+    doc: dict = {
+        "size": args.size,
+        "transfers": args.transfers,
+        "passes": list(options.enabled_passes),
+        "routes": [],
+    }
+    for route in routes:
+        label, program = _route_program(
+            route, size, args.variant, args.transfers
+        )
+        executor = GPUExecutor(CostModel(GTX480_CALIBRATED))
+        _optimized, report = optimize_program(
+            program, options, executor=executor
+        )
+        entry = report.as_dict()
+        entry["route"] = label
+        doc["routes"].append(entry)
+        if not args.json:
+            print(
+                f"=== {label} ({args.size}, transfers={args.transfers}) ==="
+            )
+            print(report.render())
+            print()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    return EXIT_OK
+
+
+def _route_program(route: str, size, variant: str, transfers: str):
+    """Compile one downscaler route; returns ``(label, DeviceProgram)``."""
+    if route == "sac":
+        from repro.apps.downscaler.sac_sources import (
+            GENERIC,
+            NONGENERIC,
+            downscaler_program_source,
+        )
+        from repro.sac.backend import CompileOptions, compile_function
+        from repro.sac.parser import parse
+
+        sac_variant = NONGENERIC if variant == "nongeneric" else GENERIC
+        cf = compile_function(
+            parse(downscaler_program_source(size, sac_variant)),
+            "downscale",
+            CompileOptions(target="cuda", transfers=transfers),
+        )
+        return f"sac-{variant}", cf.program
+
+    from repro.apps.downscaler.arrayol_model import (
+        downscaler_allocation,
+        downscaler_model,
+    )
+    from repro.arrayol.transform import GaspardContext, standard_chain
+
+    ctx = GaspardContext(
+        model=downscaler_model(size), allocation=downscaler_allocation()
+    )
+    standard_chain(transfers=transfers).run(ctx)
+    return "gaspard", ctx.program
 
 
 def _cmd_lint(args) -> int:
@@ -355,6 +460,19 @@ def _cmd_lint(args) -> int:
         render_text,
     )
 
+    opt = None
+    if args.assert_clean:
+        if args.file is not None:
+            print(
+                "error: --assert-clean applies to the compiled routes, "
+                "not --file",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        from repro.opt import OptOptions
+
+        opt = OptOptions()
+
     diags = []
     titles = []
     if args.file is not None:
@@ -362,9 +480,9 @@ def _cmd_lint(args) -> int:
     else:
         size = _size(args.size)
         if args.route in ("sac", "all"):
-            diags += _lint_sac_route(size, titles)
+            diags += _lint_sac_route(size, titles, opt=opt)
         if args.route in ("gaspard", "all"):
-            diags += _lint_gaspard_route(size, titles)
+            diags += _lint_gaspard_route(size, titles, opt=opt)
 
     baseline = load_baseline(args.baseline) if args.baseline else None
     kept, suppressed = apply_baseline(diags, baseline)
@@ -376,6 +494,17 @@ def _cmd_lint(args) -> int:
         print(render_text(kept, title=title))
         if suppressed:
             print(f"({len(suppressed)} finding(s) suppressed by baseline)")
+    if args.assert_clean:
+        transfer = [d for d in kept if d.code.startswith("XFER")]
+        if transfer:
+            print(
+                f"assert-clean: FAILED — {len(transfer)} TRANSFER finding(s) "
+                f"survive optimisation"
+            )
+            return EXIT_LINT_ERRORS
+        print(
+            "assert-clean: optimised routes trigger zero TRANSFER diagnostics"
+        )
     return EXIT_LINT_ERRORS if has_errors(kept) else EXIT_OK
 
 
@@ -401,20 +530,23 @@ def _lint_sac_file(path: str, entry: str | None, titles: list) -> list:
     return diags
 
 
-def _lint_sac_route(size, titles: list) -> list:
+def _lint_sac_route(size, titles: list, opt=None) -> list:
     from repro.apps.downscaler.sac_sources import NONGENERIC, downscaler_program_source
     from repro.sac.backend import CompileOptions, compile_function
     from repro.sac.parser import parse
 
     prog = parse(downscaler_program_source(size, NONGENERIC))
     cf = compile_function(
-        prog, "downscale", CompileOptions(target="cuda", lint=True)
+        prog, "downscale", CompileOptions(target="cuda", lint=True, opt=opt)
     )
-    titles.append(f"SaC non-generic {size.name} ({cf.kernel_count} kernels)")
+    suffix = " +opt" if opt is not None else ""
+    titles.append(
+        f"SaC non-generic {size.name} ({cf.kernel_count} kernels){suffix}"
+    )
     return list(cf.diagnostics)
 
 
-def _lint_gaspard_route(size, titles: list) -> list:
+def _lint_gaspard_route(size, titles: list, opt=None) -> list:
     from repro.apps.downscaler.arrayol_model import (
         downscaler_allocation,
         downscaler_model,
@@ -424,8 +556,11 @@ def _lint_gaspard_route(size, titles: list) -> list:
     ctx = GaspardContext(
         model=downscaler_model(size), allocation=downscaler_allocation()
     )
-    ctx = standard_chain(lint=True).run(ctx)
-    titles.append(f"Gaspard2 {size.name} ({ctx.program.launch_count} launches)")
+    ctx = standard_chain(lint=True, opt=opt).run(ctx)
+    suffix = " +opt" if opt is not None else ""
+    titles.append(
+        f"Gaspard2 {size.name} ({ctx.program.launch_count} launches){suffix}"
+    )
     return list(ctx.diagnostics)
 
 
@@ -502,6 +637,10 @@ def main(argv: list[str] | None = None) -> int:
         "--lint", action="store_true",
         help="race-check the unrolled pipeline (exit 1 on unexpected findings)",
     )
+    p.add_argument(
+        "--opt", action="store_true",
+        help="also serve the repro.opt-optimised program and report both",
+    )
     p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     p.set_defaults(fn=_cmd_pipeline)
 
@@ -526,7 +665,52 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--baseline", help="suppression file (CODE [@ location])")
     p.add_argument("--file", help="lint a SaC source file instead of the routes")
     p.add_argument("--entry", help="with --file: also compile and lint the program")
+    p.add_argument(
+        "--assert-clean", action="store_true",
+        help=(
+            "optimise the routes with repro.opt first and exit 1 if any "
+            "TRANSFER diagnostic survives"
+        ),
+    )
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "opt",
+        help="optimise the compiled routes and report before/after",
+        description=(
+            "Compiles the downscaler through either route, runs the repro.opt "
+            "pipeline (redundant-transfer elimination, cross-kernel fusion, "
+            "liveness-driven memory pooling) and prints a before/after report: "
+            "steps removed, bytes saved, modelled microseconds saved and the "
+            "peak device footprint."
+        ),
+    )
+    p.add_argument("--route", choices=("sac", "gaspard", "both"), default="both")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument(
+        "--variant", choices=("nongeneric", "generic"), default="nongeneric",
+        help="SaC route variant",
+    )
+    p.add_argument(
+        "--transfers", choices=("boundary", "per_kernel"), default="per_kernel",
+        help=(
+            "unoptimised transfer placement: per_kernel is the paper's "
+            "measured regime, boundary is the PR-2 default"
+        ),
+    )
+    p.add_argument("--no-dce", action="store_true", help="disable dead-code elimination")
+    p.add_argument(
+        "--no-transfer-elim", action="store_true",
+        help="disable redundant-transfer elimination",
+    )
+    p.add_argument("--no-fusion", action="store_true", help="disable kernel fusion")
+    p.add_argument("--no-pooling", action="store_true", help="disable memory pooling")
+    p.add_argument(
+        "--no-certify", action="store_true",
+        help="skip re-running the hazard/transfer/bounds analyses",
+    )
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p.set_defaults(fn=_cmd_opt)
 
     args = parser.parse_args(argv)
     try:

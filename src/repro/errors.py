@@ -23,6 +23,10 @@ class IRError(ReproError):
     """Malformed kernel IR or device program."""
 
 
+class OptError(ReproError):
+    """Optimiser failure: a pass produced an invalid or hazardous program."""
+
+
 class DeviceError(ReproError):
     """Simulated-device failures: OOM, bad handles, invalid launches."""
 

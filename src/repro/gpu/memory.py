@@ -38,7 +38,15 @@ class DeviceBuffer:
 
 
 class MemoryManager:
-    """Tracks device allocations against a device's capacity."""
+    """Tracks device allocations against a device's capacity.
+
+    With :attr:`pooling` enabled (programs optimised by the
+    :mod:`repro.opt` liveness pass set ``DeviceProgram.pooled``), freed
+    blocks are retained on a free-list keyed by exact geometry and served
+    back to later allocations of the same shape/dtype — repeated frames
+    reuse slots instead of round-tripping the allocator.  Retained pool
+    bytes still count against device capacity and the peak.
+    """
 
     def __init__(self, device: DeviceSpec):
         self.device = device
@@ -47,22 +55,38 @@ class MemoryManager:
         self._peak_bytes = 0
         self._alloc_count = 0
         self._free_count = 0
+        self.pooling = False
+        self._pool: dict[tuple[tuple[int, ...], str], list[np.ndarray]] = {}
+        self._pool_bytes = 0
+        self._pool_hits = 0
 
     # -- allocation ----------------------------------------------------------
+
+    @staticmethod
+    def _pool_key(shape: tuple[int, ...], dtype: str) -> tuple[tuple[int, ...], str]:
+        return (tuple(int(x) for x in shape), np.dtype(dtype).str)
 
     def alloc(self, name: str, shape: tuple[int, ...], dtype: str = "int32") -> DeviceBuffer:
         if name in self._buffers:
             raise AllocationError(f"device buffer {name!r} already allocated")
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
-        if self._bytes_in_use + nbytes > self.device.memory_bytes:
-            raise AllocationError(
-                f"device out of memory allocating {name!r}: need {nbytes} bytes, "
-                f"{self.available_bytes} available of {self.device.memory_bytes}"
-            )
-        buf = DeviceBuffer(name=name, data=np.zeros(shape, dtype=dtype))
+        blocks = self._pool.get(self._pool_key(shape, dtype)) if self.pooling else None
+        if blocks:
+            data = blocks.pop()
+            data[...] = 0  # fresh allocations are zero-filled
+            self._pool_bytes -= nbytes
+            self._pool_hits += 1
+        else:
+            if self._bytes_in_use + self._pool_bytes + nbytes > self.device.memory_bytes:
+                raise AllocationError(
+                    f"device out of memory allocating {name!r}: need {nbytes} bytes, "
+                    f"{self.available_bytes} available of {self.device.memory_bytes}"
+                )
+            data = np.zeros(shape, dtype=dtype)
+        buf = DeviceBuffer(name=name, data=data)
         self._buffers[name] = buf
         self._bytes_in_use += nbytes
-        self._peak_bytes = max(self._peak_bytes, self._bytes_in_use)
+        self._peak_bytes = max(self._peak_bytes, self._bytes_in_use + self._pool_bytes)
         self._alloc_count += 1
         return buf
 
@@ -75,6 +99,23 @@ class MemoryManager:
             ) from None
         self._bytes_in_use -= buf.nbytes
         self._free_count += 1
+        if self.pooling:
+            key = self._pool_key(buf.shape, str(buf.dtype))
+            self._pool.setdefault(key, []).append(buf.data)
+            self._pool_bytes += buf.nbytes
+
+    def set_pooling(self, enabled: bool) -> None:
+        """Switch pooled allocation on or off (off drains the pool)."""
+        self.pooling = bool(enabled)
+        if not self.pooling:
+            self.drain_pool()
+
+    def drain_pool(self) -> int:
+        """Release every retained block; returns the bytes released."""
+        released = self._pool_bytes
+        self._pool.clear()
+        self._pool_bytes = 0
+        return released
 
     def get(self, name: str) -> DeviceBuffer:
         try:
@@ -89,6 +130,7 @@ class MemoryManager:
         """Free everything (device reset)."""
         self._buffers.clear()
         self._bytes_in_use = 0
+        self.drain_pool()
 
     # -- accounting --------------------------------------------------------------
 
@@ -102,7 +144,15 @@ class MemoryManager:
 
     @property
     def available_bytes(self) -> int:
-        return self.device.memory_bytes - self._bytes_in_use
+        return self.device.memory_bytes - self._bytes_in_use - self._pool_bytes
+
+    @property
+    def pool_bytes(self) -> int:
+        return self._pool_bytes
+
+    @property
+    def pool_hits(self) -> int:
+        return self._pool_hits
 
     @property
     def live_buffers(self) -> tuple[str, ...]:

@@ -27,6 +27,12 @@ from repro.ir.expr import (
     c_div,
     c_mod,
 )
+from repro.ir.fused import (
+    FusedKernel,
+    evaluate_fused,
+    make_fused_launch,
+    validate_fused_kernel,
+)
 from repro.ir.kernel import ArrayParam, IndexSpace, Kernel, ScalarParam
 from repro.ir.metrics import AccessProfile, probe_access_profile, unique_access_bytes
 from repro.ir.printer import CSourcePrinter, c_dtype
@@ -52,6 +58,8 @@ __all__ = [
     "Stmt", "Assign", "For", "Store",
     # kernel
     "IndexSpace", "ArrayParam", "ScalarParam", "Kernel",
+    # fusion
+    "FusedKernel", "make_fused_launch", "evaluate_fused", "validate_fused_kernel",
     # program
     "Op", "AllocDevice", "FreeDevice", "HostToDevice", "DeviceToHost",
     "LaunchKernel", "HostWork", "HostCompute", "DeviceProgram",

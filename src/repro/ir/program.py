@@ -167,6 +167,10 @@ class DeviceProgram:
     source_files:
         Mapping of emitted source artefacts (e.g. ``{"kernels.cu": "..."}``)
         so callers can inspect the generated CUDA/OpenCL code.
+    pooled:
+        Request pooled device allocation: executors serve ``AllocDevice``
+        from a free-list of retained blocks so repeated frames reuse slots
+        (set by the :mod:`repro.opt` liveness pass).
     """
 
     name: str
@@ -174,6 +178,7 @@ class DeviceProgram:
     host_inputs: tuple[str, ...] = ()
     host_outputs: tuple[str, ...] = ()
     source_files: tuple[tuple[str, str], ...] = field(default=(), compare=False)
+    pooled: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ops", tuple(self.ops))

@@ -158,7 +158,12 @@ def validate_program(program: DeviceProgram) -> None:
             host_geometry[op.host] = (tuple(alloc.shape), np.dtype(alloc.dtype))
             host_defined.add(op.host)
         elif isinstance(op, LaunchKernel):
-            validate_kernel(op.kernel)
+            from repro.ir.fused import FusedKernel, validate_fused_kernel
+
+            if isinstance(op.kernel, FusedKernel):
+                validate_fused_kernel(op.kernel)
+            else:
+                validate_kernel(op.kernel)
             bound_to: dict[str, str] = {}
             for param_name, buffer in op.array_args:
                 other = bound_to.get(buffer)

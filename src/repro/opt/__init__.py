@@ -1,0 +1,46 @@
+"""Device-program optimisation: what the paper's compilers should emit.
+
+Both backends produce correct but literal :class:`~repro.ir.program.
+DeviceProgram` sequences; the paper attributes roughly half of each
+route's runtime to host↔device transfers and names redundant-transfer
+removal and WITH-Loop Folding as the abstraction-preserving cures.  This
+package is the cure as a compiler stage, shared by both routes because it
+rewrites the common IR:
+
+* :mod:`repro.opt.passes` — dead-code elimination, redundant-transfer
+  elimination (the rewriting twin of the XFER lints), liveness-driven
+  free sinking + pooled allocation;
+* :mod:`repro.opt.fusion` — cross-kernel fusion over single-use
+  untransferred intermediates (IR-level WLF);
+* :mod:`repro.opt.pipeline` — the pass driver plus the certification
+  gate: every optimised program re-validates and must not regress the
+  PR-1 hazard/transfer/bounds analyses;
+* :mod:`repro.opt.report` — before/after accounting for ``repro opt``
+  and ``benchmarks/bench_opt.py``.
+
+Wired through ``CompileOptions(opt=...)`` on the SaC route,
+``standard_chain(opt=...)`` on the Gaspard2 route, and the compile-cache
+keys of both.
+"""
+
+from repro.opt.fusion import fuse_program
+from repro.opt.options import OptOptions
+from repro.opt.passes import (
+    dead_code_elimination,
+    eliminate_redundant_transfers,
+    sink_frees_to_last_use,
+)
+from repro.opt.pipeline import certify_program, optimize_program
+from repro.opt.report import OptReport, ProgramStats
+
+__all__ = [
+    "OptOptions",
+    "OptReport",
+    "ProgramStats",
+    "optimize_program",
+    "certify_program",
+    "fuse_program",
+    "dead_code_elimination",
+    "eliminate_redundant_transfers",
+    "sink_frees_to_last_use",
+]

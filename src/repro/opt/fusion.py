@@ -1,0 +1,153 @@
+"""Cross-kernel fusion over single-use untransferred intermediates.
+
+The IR-level generalisation of SaC's WITH-Loop Folding
+(``sac/opt/wlf.py``), applicable to both routes because it works on the
+shared :class:`~repro.ir.program.DeviceProgram`: when a device buffer is
+written by one group of launches and read by another, is never
+transferred, and nothing else touches it, all those launches collapse
+into a single :class:`~repro.ir.fused.FusedKernel` launch and the buffer
+becomes launch-private scratch — its allocation, free and inter-launch
+synchronisation disappear.
+
+Unlike the AST-level WLF, the stage bodies are *not* substituted into
+each other (on the calibrated cost model inline substitution multiplies
+the per-item read counts of issue-bound kernels and loses time); the
+stages execute back to back inside one launch, saving the per-launch
+overhead — the dominant kernel-side cost of the paper's small filters.
+"""
+
+from __future__ import annotations
+
+from repro.ir.fused import make_fused_launch
+from repro.ir.program import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    LaunchKernel,
+)
+from repro.opt.passes import _rebuild, launch_reads, launch_writes
+
+__all__ = ["fuse_program"]
+
+
+def _spaces_compatible(stages: list[LaunchKernel]) -> bool:
+    """All stage index spaces must share a rank (one cooperative grid)."""
+    ranks = {st.kernel.space.rank for st in stages}
+    return len(ranks) == 1
+
+
+def _inputs_available_at_entry(stages: list[LaunchKernel], internal: set[str]) -> bool:
+    """Later stages must not pull in external inputs the first stage
+    doesn't already wait for — otherwise the fused launch could start
+    later than the original first launch and lose schedule overlap."""
+    entry_reads = launch_reads(stages[0]) - internal
+    produced: set[str] = set()
+    for st in stages:
+        if (launch_reads(st) - internal) - entry_reads - produced:
+            return False
+        produced |= launch_writes(st)
+    return True
+
+
+def _candidate(program: DeviceProgram) -> tuple[str, list[int]] | None:
+    """Find one fusable intermediate; returns (buffer, group launch indices)."""
+    allocs: dict[str, AllocDevice] = {
+        op.buffer: op for op in program.ops if isinstance(op, AllocDevice)
+    }
+    transferred = {
+        op.device for op in program.ops
+        if isinstance(op, (HostToDevice, DeviceToHost))
+    }
+    for buf, alloc in allocs.items():
+        if buf in transferred:
+            continue
+        group = [
+            i for i, op in enumerate(program.ops)
+            if isinstance(op, LaunchKernel)
+            and buf in {b for _, b in op.array_args}
+        ]
+        if len(group) < 2:
+            continue
+        writers = [i for i in group if buf in launch_writes(program.ops[i])]
+        readers = [i for i in group if buf in launch_reads(program.ops[i])]
+        if not writers or not readers:
+            continue
+        stages = [program.ops[i] for i in group]
+        if not _spaces_compatible(stages):
+            continue
+        if not _inputs_available_at_entry(stages, {buf}):
+            continue
+        group_bufs = {b for st in stages for _, b in st.array_args}
+        ok = True
+        for i in range(group[0] + 1, group[-1]):
+            if i in group:
+                continue
+            op = program.ops[i]
+            if isinstance(op, LaunchKernel):
+                if {b for _, b in op.array_args} & group_bufs:
+                    ok = False
+                    break
+            elif isinstance(op, (HostToDevice, DeviceToHost)):
+                if op.device in group_bufs:
+                    ok = False
+                    break
+            elif isinstance(op, FreeDevice) and op.buffer in group_bufs:
+                ok = False
+                break
+            # AllocDevice and HostCompute ops are movable past the group
+        if ok:
+            return buf, group
+    return None
+
+
+def fuse_program(program: DeviceProgram) -> tuple[DeviceProgram, list[str]]:
+    """Fuse every eligible launch group; returns the eliminated buffers."""
+    eliminated: list[str] = []
+    while True:
+        found = _candidate(program)
+        if found is None:
+            return program, eliminated
+        buf, group = found
+        allocs = {
+            op.buffer: op for op in program.ops if isinstance(op, AllocDevice)
+        }
+        # scratch geometry of previously fused stages is carried by their
+        # internal params; make_fused_launch merges it when flattening
+        stages = tuple(program.ops[i] for i in group)
+        fused_launch = make_fused_launch(
+            name=f"fused_{buf}", stages=stages, internal_buffers={buf},
+            geometry=allocs,
+        )
+        group_bufs = {b for st in stages for _, b in st.array_args}
+
+        first, last = group[0], group[-1]
+        hoisted: list = []
+        between: list = []
+        for i in range(first + 1, last):
+            if i in group:
+                continue
+            op = program.ops[i]
+            if isinstance(op, AllocDevice) and op.buffer == buf:
+                continue  # the eliminated intermediate's allocation
+            if isinstance(op, AllocDevice) and op.buffer in group_bufs:
+                hoisted.append(op)
+            else:
+                between.append(op)
+        ops = (
+            [
+                op for op in program.ops[:first]
+                if not (isinstance(op, AllocDevice) and op.buffer == buf)
+            ]
+            + hoisted
+            + [fused_launch]
+            + between
+            + [
+                op for op in program.ops[last + 1:]
+                if not (isinstance(op, FreeDevice) and op.buffer == buf)
+            ]
+        )
+        program = _rebuild(program, ops)
+        eliminated.append(buf)

@@ -1,0 +1,46 @@
+"""Optimiser configuration.
+
+Each pass of :func:`repro.opt.optimize_program` is independently
+toggleable; ``repr(OptOptions(...))`` participates in the compile-cache
+keys of both routes, so every configuration compiles into its own entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OptOptions"]
+
+
+@dataclass(frozen=True)
+class OptOptions:
+    """Which optimisation passes run, and whether the result is certified."""
+
+    #: dead-code elimination: dead host steps, dead downloads, unlaunched
+    #: allocations and their transfers
+    dce: bool = True
+    #: redundant-transfer elimination: re-uploads of resident data,
+    #: download/upload round trips (includes loop-invariant upload hoisting
+    #: on unrolled programs)
+    transfers: bool = True
+    #: cross-kernel fusion over single-use untransferred intermediates
+    fusion: bool = True
+    #: liveness-driven pooling: frees move to last use, allocations are
+    #: served from the executor's free-list across repeated frames
+    pooling: bool = True
+    #: re-validate and re-run the hazard/transfer/bounds analyses on the
+    #: optimised program; raise OptError on any regression
+    certify: bool = True
+
+    @property
+    def enabled_passes(self) -> tuple[str, ...]:
+        names = []
+        if self.dce:
+            names.append("dce")
+        if self.transfers:
+            names.append("transfer-elimination")
+        if self.fusion:
+            names.append("fusion")
+        if self.pooling:
+            names.append("pooling")
+        return tuple(names)

@@ -1,0 +1,204 @@
+"""Rewriting passes over device programs: DCE, transfer elimination, liveness.
+
+All three passes are pure deletions or reorderings of straight-line op
+sequences — none changes what any surviving op computes, which is how the
+optimiser keeps the bit-exactness guarantee structural rather than
+empirical.  Cross-kernel fusion, the one pass that *replaces* ops, lives
+in :mod:`repro.opt.fusion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.ir.program import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    LaunchKernel,
+)
+
+__all__ = [
+    "dead_code_elimination",
+    "eliminate_redundant_transfers",
+    "sink_frees_to_last_use",
+    "launch_reads",
+    "launch_writes",
+]
+
+
+def launch_reads(op: LaunchKernel) -> set[str]:
+    """Device buffers a launch consumes (``in``/``inout`` bindings)."""
+    return {
+        buf for param, buf in op.array_args
+        if op.kernel.array(param).intent in ("in", "inout")
+    }
+
+
+def launch_writes(op: LaunchKernel) -> set[str]:
+    """Device buffers a launch produces (``out``/``inout`` bindings)."""
+    return {
+        buf for param, buf in op.array_args
+        if op.kernel.array(param).intent in ("out", "inout")
+    }
+
+
+def _rebuild(program: DeviceProgram, ops: list) -> DeviceProgram:
+    return replace(program, ops=tuple(ops))
+
+
+def dead_code_elimination(program: DeviceProgram) -> tuple[DeviceProgram, int]:
+    """Remove ops whose results nothing downstream consumes.
+
+    One backward liveness sweep over host arrays and device buffers:
+
+    * a download is dead when its host array is never consumed (XFER002);
+    * an upload is dead when the device buffer is never read below;
+    * a launch is dead when none of its outputs is needed;
+    * a host step is dead when none of its writes is needed (the dead
+      canvas initialisations of the SaC route — which are also scheduler
+      barriers, so removing them unlocks cross-run overlap);
+    * allocations/frees of buffers no surviving op touches disappear with
+      them (XFER003).
+
+    Kernel writes and host-step writes may be partial updates, so they
+    never kill liveness; full-array copies (H2D/D2H) do.
+    """
+    ops = list(program.ops)
+    keep = [True] * len(ops)
+    needed_host = set(program.host_outputs)
+    needed_dev: set[str] = set()
+
+    for i in range(len(ops) - 1, -1, -1):
+        op = ops[i]
+        if isinstance(op, DeviceToHost):
+            if op.host in needed_host:
+                needed_host.discard(op.host)
+                needed_dev.add(op.device)
+            else:
+                keep[i] = False
+        elif isinstance(op, HostToDevice):
+            if op.device in needed_dev:
+                needed_dev.discard(op.device)
+                needed_host.add(op.host)
+            else:
+                keep[i] = False
+        elif isinstance(op, LaunchKernel):
+            if launch_writes(op) & needed_dev:
+                needed_dev.update(launch_reads(op))
+            else:
+                keep[i] = False
+        elif isinstance(op, HostCompute):
+            if not op.writes or set(op.writes) & needed_host:
+                needed_host.update(op.reads)
+            else:
+                keep[i] = False
+
+    used: set[str] = set()
+    for i, op in enumerate(ops):
+        if not keep[i]:
+            continue
+        if isinstance(op, (HostToDevice, DeviceToHost)):
+            used.add(op.device)
+        elif isinstance(op, LaunchKernel):
+            used.update(buf for _, buf in op.array_args)
+    for i, op in enumerate(ops):
+        if isinstance(op, (AllocDevice, FreeDevice)) and op.buffer not in used:
+            keep[i] = False
+
+    removed = keep.count(False)
+    if not removed:
+        return program, 0
+    return _rebuild(program, [op for i, op in enumerate(ops) if keep[i]]), removed
+
+
+def eliminate_redundant_transfers(program: DeviceProgram) -> tuple[DeviceProgram, int]:
+    """Delete uploads of data the device already holds.
+
+    Forward residency dataflow, the rewriting twin of the XFER001 lint in
+    :mod:`repro.analysis.transfers`: an upload whose (host array,
+    generation) pair is already resident in the target buffer is a no-op
+    and is removed.  Downloads establish residency too, so a
+    download→re-upload round trip loses its upload here (and its download
+    to DCE once the host copy is unconsumed).  On unrolled frame loops the
+    per-iteration re-upload of an unchanged input is exactly such a
+    redundant transfer — deleting every copy but the first *is* the
+    loop-invariant hoist.
+    """
+    kept: list = []
+    removed = 0
+    host_gen: dict[str, int] = {}
+    resident: dict[str, tuple[str, int]] = {}
+
+    for op in program.ops:
+        if isinstance(op, AllocDevice):
+            resident.pop(op.buffer, None)
+        elif isinstance(op, FreeDevice):
+            resident.pop(op.buffer, None)
+        elif isinstance(op, HostToDevice):
+            gen = host_gen.setdefault(op.host, 0)
+            if resident.get(op.device) == (op.host, gen):
+                removed += 1
+                continue
+            resident[op.device] = (op.host, gen)
+        elif isinstance(op, DeviceToHost):
+            host_gen[op.host] = host_gen.get(op.host, 0) + 1
+            resident[op.device] = (op.host, host_gen[op.host])
+        elif isinstance(op, LaunchKernel):
+            for buf in launch_writes(op):
+                resident.pop(buf, None)
+        elif isinstance(op, HostCompute):
+            for name in op.writes:
+                host_gen[name] = host_gen.get(name, 0) + 1
+                for buf, (src, _) in list(resident.items()):
+                    if src == name:
+                        resident.pop(buf)
+        kept.append(op)
+
+    if not removed:
+        return program, 0
+    return _rebuild(program, kept), removed
+
+
+def sink_frees_to_last_use(program: DeviceProgram) -> tuple[DeviceProgram, int]:
+    """Move every ``FreeDevice`` to just after its buffer's last use.
+
+    Both backends free at program end, so buffer live ranges span the
+    whole program; sinking each free to the last touching op shrinks the
+    static peak footprint, and marking the program :attr:`~repro.ir.
+    program.DeviceProgram.pooled` lets the executor's free-list recycle
+    the blocks across repeated frames.
+    """
+    freed = {op.buffer for op in program.ops if isinstance(op, FreeDevice)}
+    if not freed:
+        return replace(program, pooled=True), 0
+
+    last_use: dict[str, int] = {}
+    for i, op in enumerate(program.ops):
+        if isinstance(op, AllocDevice) and op.buffer in freed:
+            last_use[op.buffer] = i
+        elif isinstance(op, (HostToDevice, DeviceToHost)) and op.device in freed:
+            last_use[op.device] = i
+        elif isinstance(op, LaunchKernel):
+            for _, buf in op.array_args:
+                if buf in freed:
+                    last_use[buf] = i
+
+    moved = sum(
+        1 for i, op in enumerate(program.ops)
+        if isinstance(op, FreeDevice) and i != last_use[op.buffer] + 1
+    )
+    after: dict[int, list[str]] = {}
+    for buf, i in last_use.items():
+        after.setdefault(i, []).append(buf)
+    ops: list = []
+    for i, op in enumerate(program.ops):
+        if isinstance(op, FreeDevice):
+            continue
+        ops.append(op)
+        for buf in after.get(i, ()):
+            ops.append(FreeDevice(buf))
+    return replace(_rebuild(program, ops), pooled=True), moved

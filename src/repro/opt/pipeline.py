@@ -1,0 +1,157 @@
+"""The optimisation pipeline driver and its certification gate.
+
+:func:`optimize_program` runs the enabled passes in a fixed order —
+DCE and transfer elimination to a joint fixpoint (each unlocks work for
+the other), then fusion, then liveness pooling — and, unless disabled,
+**certifies** the result: the optimised program must re-validate
+structurally and must not add any finding to the PR-1 hazard, transfer
+or bounds analyses relative to the input program.  Certification failure
+raises :class:`~repro.errors.OptError` rather than returning a silently
+wrong program.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import OptError
+from repro.ir.program import DeviceProgram
+from repro.ir.validate import validate_program
+from repro.opt.fusion import fuse_program
+from repro.opt.options import OptOptions
+from repro.opt.passes import (
+    dead_code_elimination,
+    eliminate_redundant_transfers,
+    sink_frees_to_last_use,
+)
+from repro.opt.report import OptReport, ProgramStats
+
+__all__ = ["optimize_program", "certify_program"]
+
+#: analyzer passes re-run by certification (coalescing is a per-kernel
+#: style lint, unaffected by op rewriting)
+_CERTIFY_PASSES = ("hazards", "transfers", "bounds")
+
+
+def _finding_counts(diags) -> Counter:
+    return Counter((d.code, d.severity) for d in diags)
+
+
+def certify_program(
+    before: DeviceProgram, after: DeviceProgram, options: OptOptions
+) -> tuple:
+    """Validate ``after`` and prove the analyses did not regress.
+
+    Returns the diagnostics of the optimised program; raises
+    :class:`OptError` when the optimised program is structurally invalid
+    or triggers any finding its input did not already trigger — findings
+    *inherited* from the input (e.g. the races a naive transfer placement
+    carries until the passes that remove it have all run) are not the
+    optimiser's regression.  One further exception: a new *warning* whose
+    ``fixable_by`` pass is disabled in ``options`` is tolerated — with
+    DCE off, deleting a redundant upload legitimately leaves a dead
+    download the transfer lint now sees; only DCE could remove it.
+    """
+    from repro.analysis import analyze_program
+
+    try:
+        validate_program(after)
+    except Exception as err:
+        raise OptError(
+            f"optimised program {after.name!r} failed validation: {err}"
+        ) from err
+
+    base = _finding_counts(analyze_program(before, only=_CERTIFY_PASSES))
+    diags = analyze_program(after, only=_CERTIFY_PASSES)
+    disabled = set()
+    if not options.dce:
+        disabled.add("dce")
+    if not options.transfers:
+        disabled.add("transfer-elimination")
+    budget = dict(base)
+    regressed = []
+    for d in diags:
+        key = (d.code, d.severity)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        elif d.is_error or d.fixable_by not in disabled:
+            regressed.append(d)
+    if regressed:
+        raise OptError(
+            f"optimisation of {after.name!r} introduced new findings: "
+            + "; ".join(f"{d.code}: {d.message}" for d in regressed)
+        )
+    return tuple(diags)
+
+
+def optimize_program(
+    program: DeviceProgram,
+    options: OptOptions | None = None,
+    executor=None,
+) -> tuple[DeviceProgram, OptReport]:
+    """Optimise ``program``; returns ``(optimised, report)``.
+
+    Pass ``executor`` (a :class:`~repro.gpu.executor.GPUExecutor`) to have
+    the report include modelled serial microseconds before and after.
+    """
+    options = OptOptions() if options is None else options
+    before = program
+    notes: list[tuple[str, str]] = []
+    eliminated: tuple[str, ...] = ()
+
+    # DCE and transfer elimination feed each other: removing a redundant
+    # upload makes its source download dead, removing a dead host step
+    # makes its download dead, and so on — iterate to a joint fixpoint
+    for _ in range(len(program.ops) + 1):
+        changed = 0
+        if options.dce:
+            program, n = dead_code_elimination(program)
+            if n:
+                notes.append(("dce", f"removed {n} dead ops"))
+            changed += n
+        if options.transfers:
+            program, n = eliminate_redundant_transfers(program)
+            if n:
+                notes.append(("transfer-elimination",
+                              f"removed {n} redundant uploads"))
+            changed += n
+        if not changed:
+            break
+
+    if options.fusion:
+        program, buffers = fuse_program(program)
+        eliminated = tuple(buffers)
+        if buffers:
+            notes.append(
+                ("fusion",
+                 f"fused {len(buffers)} intermediate(s): {', '.join(buffers)}")
+            )
+        if options.dce:  # fusion can strand allocations of moved frees
+            program, n = dead_code_elimination(program)
+            if n:
+                notes.append(("dce", f"removed {n} dead ops after fusion"))
+
+    if options.pooling:
+        program, moved = sink_frees_to_last_use(program)
+        notes.append(
+            ("pooling",
+             f"sank {moved} frees to last use; pooled allocation enabled")
+        )
+
+    diagnostics: tuple = ()
+    certified = False
+    if options.certify:
+        diagnostics = certify_program(before, program, options)
+        certified = True
+
+    report = OptReport(
+        program=program.name,
+        options=options,
+        before=ProgramStats.of(before, executor),
+        after=ProgramStats.of(program, executor),
+        passes=tuple(notes),
+        buffers_eliminated=eliminated,
+        certified=certified,
+        diagnostics=diagnostics,
+    )
+    return program, report

@@ -6,10 +6,12 @@ cache keys each route on everything that determines its output:
 
 * **SaC**: the source text, the entry function and every field of
   :class:`~repro.sac.backend.CompileOptions` (target, optimisation flags,
-  wrap splitting, lint) — a changed flag is a changed key, so ablations
-  never see stale programs;
+  wrap splitting, lint, transfer placement, the ``repro.opt``
+  configuration) — a changed flag is a changed key, so ablations never
+  see stale programs;
 * **ArrayOL/Gaspard2**: the application model, the MARTE allocation and
-  the transformation-chain configuration (pass names + lint).
+  the transformation-chain configuration (pass names + lint + transfer
+  placement + the ``repro.opt`` configuration).
 
 Keys are content digests, so two textually identical sources share an
 entry regardless of identity.  Hit/miss/invalidation counts are kept in
@@ -39,11 +41,31 @@ def sac_key(source: str, entry: str, options) -> tuple:
     return ("sac", entry, _digest(source, repr(options)))
 
 
-def gaspard_key(model, allocation, chain_passes=(), lint: bool = False) -> tuple:
-    """Cache key of one Gaspard2 chain run (model x allocation x chain)."""
+def gaspard_key(
+    model,
+    allocation,
+    chain_passes=(),
+    lint: bool = False,
+    opt=None,
+    transfers: str = "boundary",
+) -> tuple:
+    """Cache key of one Gaspard2 chain run (model x allocation x chain).
+
+    ``opt`` and ``transfers`` reconfigure the chain's emitted program, so
+    they are part of the content key — toggling the optimiser can never
+    serve a stale unoptimised program (the SaC route gets the same
+    guarantee through ``repr(CompileOptions)`` in :func:`sac_key`).
+    """
     return (
         "gaspard",
-        _digest(repr(model), repr(allocation), repr(tuple(chain_passes)), repr(bool(lint))),
+        _digest(
+            repr(model),
+            repr(allocation),
+            repr(tuple(chain_passes)),
+            repr(bool(lint)),
+            repr(opt),
+            repr(transfers),
+        ),
     )
 
 
@@ -145,7 +167,10 @@ class CompileCache:
 
         return self.get_or_compile(sac_key(source, entry, options), build)
 
-    def compile_gaspard(self, model, allocation, lint: bool = False):
+    def compile_gaspard(
+        self, model, allocation, lint: bool = False, opt=None,
+        transfers: str = "boundary",
+    ):
         """Run the Gaspard2 chain through the cache.
 
         Returns ``(ctx, chain)`` — the transformed
@@ -155,9 +180,10 @@ class CompileCache:
         from repro.arrayol.transform import GaspardContext, standard_chain
         from repro.ir.validate import validate_program
 
-        chain_probe = standard_chain(lint=lint)
+        chain_probe = standard_chain(lint=lint, opt=opt, transfers=transfers)
         key = gaspard_key(
-            model, allocation, (p.name for p in chain_probe.passes), lint
+            model, allocation, (p.name for p in chain_probe.passes), lint,
+            opt=opt, transfers=transfers,
         )
 
         def build():

@@ -23,7 +23,7 @@ cost — the SAC-Seq bars of Figure 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -85,10 +85,22 @@ class CompileOptions:
     #: run the repro.analysis suite over the source AST and the emitted
     #: program; findings land on CompiledFunction.diagnostics
     lint: bool = False
+    #: transfer placement: "boundary" keeps arrays device-resident between
+    #: WITH-loops; "per_kernel" brackets every WITH-loop with a download
+    #: and re-uploads consumer inputs — the literal placement the paper
+    #: measures as ~half of total runtime, and the input the
+    #: repro.opt transfer-elimination pass is built to clean up
+    transfers: str = "boundary"
+    #: device-program optimisation (a repro.opt.OptOptions); applied to
+    #: cuda programs after emission, results land on
+    #: CompiledFunction.opt_report
+    opt: object | None = None
 
     def __post_init__(self) -> None:
         if self.target not in ("cuda", "seq"):
             raise BackendError(f"unknown target {self.target!r}")
+        if self.transfers not in ("boundary", "per_kernel"):
+            raise BackendError(f"unknown transfer placement {self.transfers!r}")
 
 
 @dataclass(frozen=True)
@@ -103,6 +115,8 @@ class CompiledFunction:
     rejected: tuple[tuple[str, str], ...] = ()  # (with-loop result, reason)
     #: analyzer findings (populated when CompileOptions.lint is set)
     diagnostics: tuple = field(default=(), compare=False)
+    #: repro.opt.OptReport (populated when CompileOptions.opt is set)
+    opt_report: object = field(default=None, compare=False)
 
 
 def compile_function(
@@ -123,21 +137,20 @@ def compile_function(
     fun = program.function(entry)
     builder = _Builder(program, fun, options)
     compiled = builder.build()
+    if options.opt is not None and options.target == "cuda":
+        from repro.opt import optimize_program as optimize_device_program
+
+        opt_program, opt_report = optimize_device_program(
+            compiled.program, options.opt
+        )
+        compiled = replace(compiled, program=opt_program, opt_report=opt_report)
     if options.lint:
         from repro.analysis import analyze_program, analyze_sac_program
 
         diagnostics = tuple(
             analyze_sac_program(source_program) + analyze_program(compiled.program)
         )
-        compiled = CompiledFunction(
-            program=compiled.program,
-            entry=compiled.entry,
-            optimized=compiled.optimized,
-            kernel_count=compiled.kernel_count,
-            host_step_count=compiled.host_step_count,
-            rejected=compiled.rejected,
-            diagnostics=diagnostics,
-        )
+        compiled = replace(compiled, diagnostics=diagnostics)
     return compiled
 
 
@@ -383,6 +396,13 @@ class _Builder:
             self.ops.append(LaunchKernel(kernel, args))
             self.kernel_count += 1
 
+        if self.gpu and self.options.transfers == "per_kernel":
+            # paper-literal placement: every WITH-loop result returns to
+            # the host immediately and consumers re-upload their inputs
+            self.ops.append(DeviceToHost(self.buffer(target), target))
+            self.host_defined.add(target)
+            self.on_device.clear()
+
     def make_kernel(self, target, loop: LoweredLoop, g) -> Kernel:
         reads = sorted(g.reads() - {target})
         arrays = [
@@ -424,12 +444,13 @@ class _Builder:
             raise BackendError(f"array {name!r} has unknown shape at transfer time")
         if name not in self.host_defined:
             raise BackendError(f"array {name!r} is not available on the host")
-        self.ops.append(
-            AllocDevice(self.buffer(name), self.shapes[name],
-                        self.dtypes.get(name, "int32"))
-        )
-        self.allocated.append(self.buffer(name))
-        self.ops.append(HostToDevice(name, self.buffer(name)))
+        buf = self.buffer(name)
+        if buf not in self.allocated:  # per_kernel mode re-uploads into live buffers
+            self.ops.append(
+                AllocDevice(buf, self.shapes[name], self.dtypes.get(name, "int32"))
+            )
+            self.allocated.append(buf)
+        self.ops.append(HostToDevice(name, buf))
         self.on_device.add(name)
 
     def ensure_on_host(self, name: str) -> None:

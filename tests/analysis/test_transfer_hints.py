@@ -1,0 +1,112 @@
+"""The transfer lint's machine-readable opt hints (``fixable_by``)."""
+
+from repro.analysis import find_transfer_waste
+from repro.ir import (
+    AllocDevice,
+    ArrayParam,
+    Const,
+    DeviceProgram,
+    DeviceToHost,
+    HostToDevice,
+    IndexSpace,
+    Kernel,
+    LaunchKernel,
+    Read,
+    Store,
+    ThreadIdx,
+)
+
+SHAPE = (4, 8)
+
+
+def copy_kernel():
+    return Kernel(
+        name="copy",
+        space=IndexSpace((0, 0), SHAPE),
+        arrays=(
+            ArrayParam("src", SHAPE, intent="in"),
+            ArrayParam("dst", SHAPE, intent="out"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                Read("src", (ThreadIdx(0), ThreadIdx(1))),
+            ),
+        ),
+    )
+
+
+def program(ops, outputs=("h_out",)):
+    return DeviceProgram(
+        "p", ops=tuple(ops), host_inputs=("h_in",), host_outputs=outputs
+    )
+
+
+def test_reupload_names_transfer_elimination():
+    k = copy_kernel()
+    diags = find_transfer_waste(
+        program(
+            [
+                AllocDevice("d_in", SHAPE),
+                AllocDevice("d_out", SHAPE),
+                HostToDevice("h_in", "d_in"),
+                HostToDevice("h_in", "d_in"),
+                LaunchKernel(k, (("src", "d_in"), ("dst", "d_out"))),
+                DeviceToHost("d_out", "h_out"),
+            ]
+        )
+    )
+    (d,) = [d for d in diags if d.code == "XFER001"]
+    assert d.fixable_by == "transfer-elimination"
+    assert d.as_dict()["fixable_by"] == "transfer-elimination"
+
+
+def test_round_trip_reupload_is_flagged():
+    # d2h establishes residency: the h2d straight after is a pure round trip
+    k = copy_kernel()
+    diags = find_transfer_waste(
+        program(
+            [
+                AllocDevice("d_in", SHAPE),
+                AllocDevice("d_out", SHAPE),
+                HostToDevice("h_in", "d_in"),
+                LaunchKernel(k, (("src", "d_in"), ("dst", "d_out"))),
+                DeviceToHost("d_out", "h_out"),
+                HostToDevice("h_out", "d_out"),
+                LaunchKernel(k, (("src", "d_out"), ("dst", "d_in"))),
+                DeviceToHost("d_in", "h_out2"),
+            ],
+            outputs=("h_out", "h_out2"),
+        )
+    )
+    assert [d.code for d in diags] == ["XFER001"]
+
+
+def test_dead_download_and_dead_roundtrip_name_dce():
+    k = copy_kernel()
+    diags = find_transfer_waste(
+        program(
+            [
+                AllocDevice("d_in", SHAPE),
+                AllocDevice("d_out", SHAPE),
+                AllocDevice("d_idle", SHAPE),
+                HostToDevice("h_in", "d_in"),
+                HostToDevice("h_in", "d_idle"),
+                LaunchKernel(k, (("src", "d_in"), ("dst", "d_out"))),
+                DeviceToHost("d_out", "h_scratch"),
+                DeviceToHost("d_out", "h_out"),
+            ]
+        )
+    )
+    dead = [d for d in diags if d.code == "XFER002"]
+    idle = [d for d in diags if d.code == "XFER003"]
+    assert len(dead) == 1 and dead[0].fixable_by == "dce"
+    assert len(idle) == 1 and idle[0].fixable_by == "dce"
+
+
+def test_hint_absent_from_json_when_not_fixable():
+    from repro.analysis import Diagnostic
+
+    d = Diagnostic(code="RACE001", severity="error", message="m")
+    assert "fixable_by" not in d.as_dict()

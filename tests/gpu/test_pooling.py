@@ -1,0 +1,95 @@
+"""Unit tests for the pooled (free-list) device allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.gpu import DeviceSpec, MemoryManager
+
+
+def tiny_device(mem=4096):
+    return DeviceSpec(
+        name="tiny", sm_count=1, cores_per_sm=1, clock_ghz=1.0, memory_bytes=mem
+    )
+
+
+def test_free_retains_block_and_alloc_reuses_it():
+    mm = MemoryManager(tiny_device())
+    mm.set_pooling(True)
+    a = mm.alloc("a", (4, 4), "int32")
+    a.data[...] = 7
+    mm.free("a")
+    assert mm.pool_bytes == 64
+    assert mm.bytes_in_use == 0
+    b = mm.alloc("b", (4, 4), "int32")
+    assert mm.pool_hits == 1
+    assert mm.pool_bytes == 0
+    # reused blocks are zero-filled, exactly like a fresh allocation
+    assert np.count_nonzero(b.data) == 0
+
+
+def test_pool_keys_on_shape_and_dtype():
+    mm = MemoryManager(tiny_device())
+    mm.set_pooling(True)
+    mm.alloc("a", (4, 4), "int32")
+    mm.free("a")
+    mm.alloc("b", (2, 8), "int32")  # same bytes, different shape -> no hit
+    assert mm.pool_hits == 0
+    mm.alloc("c", (4, 4), "float32")  # same shape, different dtype -> no hit
+    assert mm.pool_hits == 0
+    mm.alloc("d", (4, 4), "int32")
+    assert mm.pool_hits == 1
+
+
+def test_peak_accounts_for_pooled_bytes():
+    mm = MemoryManager(tiny_device())
+    mm.set_pooling(True)
+    mm.alloc("a", (8, 8), "int32")  # 256 B
+    mm.free("a")
+    mm.alloc("b", (4, 4), "int32")  # 64 B, no reuse (shape differs)
+    # the retained block still occupies device memory
+    assert mm.peak_bytes == 256 + 64
+    assert mm.available_bytes == 4096 - 256 - 64
+
+
+def test_capacity_check_includes_pool():
+    mm = MemoryManager(tiny_device(mem=256))
+    mm.set_pooling(True)
+    mm.alloc("a", (8, 8), "int32")  # fills the device
+    mm.free("a")
+    with pytest.raises(AllocationError):
+        mm.alloc("b", (4, 4), "int32")  # pooled block still holds the memory
+
+
+def test_disabling_pooling_drains_the_pool():
+    mm = MemoryManager(tiny_device())
+    mm.set_pooling(True)
+    mm.alloc("a", (4, 4), "int32")
+    mm.free("a")
+    assert mm.pool_bytes == 64
+    mm.set_pooling(False)
+    assert mm.pool_bytes == 0
+    assert not mm.pooling
+
+
+def test_drain_pool_reports_released_bytes():
+    mm = MemoryManager(tiny_device())
+    mm.set_pooling(True)
+    mm.alloc("a", (4, 4), "int32")
+    mm.alloc("b", (2, 2), "int32")
+    mm.free("a")
+    mm.free("b")
+    assert mm.drain_pool() == 64 + 16
+    assert mm.pool_bytes == 0
+
+
+def test_reset_clears_pool_state():
+    mm = MemoryManager(tiny_device())
+    mm.set_pooling(True)
+    mm.alloc("a", (4, 4), "int32")
+    mm.free("a")
+    mm.alloc("b", (4, 4), "int32")
+    assert mm.pool_hits == 1
+    mm.reset()
+    assert mm.pool_bytes == 0
+    assert mm.bytes_in_use == 0

@@ -1,0 +1,64 @@
+"""Shared synthetic device programs for the optimiser tests."""
+
+from repro.ir import (
+    AllocDevice,
+    ArrayParam,
+    BinOp,
+    Const,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostToDevice,
+    IndexSpace,
+    Kernel,
+    LaunchKernel,
+    Read,
+    Store,
+    ThreadIdx,
+)
+
+SHAPE = (4, 8)
+
+
+def pointwise_kernel(name: str, op: str = "+", c: int = 1, shape=SHAPE) -> Kernel:
+    """``dst[i,j] = src[i,j] <op> c`` — a fusible single-stage kernel."""
+    return Kernel(
+        name=name,
+        space=IndexSpace((0, 0), shape),
+        arrays=(
+            ArrayParam("src", shape, intent="in"),
+            ArrayParam("dst", shape, intent="out"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                BinOp(op, Read("src", (ThreadIdx(0), ThreadIdx(1))), Const(c)),
+            ),
+        ),
+    )
+
+
+def chain_program(frees: bool = True, extra_ops=()) -> DeviceProgram:
+    """``h_in -> d_in -[k1]-> d_mid -[k2]-> d_out -> h_out``.
+
+    The classic fusion candidate: ``d_mid`` is a single-use, untransferred
+    intermediate.  ``extra_ops`` are appended before the frees.
+    """
+    k1 = pointwise_kernel("k1", "+", 1)
+    k2 = pointwise_kernel("k2", "*", 3)
+    ops = [
+        AllocDevice("d_in", SHAPE),
+        AllocDevice("d_mid", SHAPE),
+        AllocDevice("d_out", SHAPE),
+        HostToDevice("h_in", "d_in"),
+        LaunchKernel(k1, (("src", "d_in"), ("dst", "d_mid"))),
+        LaunchKernel(k2, (("src", "d_mid"), ("dst", "d_out"))),
+        DeviceToHost("d_out", "h_out"),
+    ]
+    ops += list(extra_ops)
+    if frees:
+        ops += [FreeDevice("d_in"), FreeDevice("d_mid"), FreeDevice("d_out")]
+    return DeviceProgram(
+        "chain", ops=tuple(ops), host_inputs=("h_in",), host_outputs=("h_out",)
+    )

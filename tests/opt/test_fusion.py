@@ -1,0 +1,124 @@
+"""Unit tests for cross-kernel fusion (repro.opt.fusion)."""
+
+import numpy as np
+
+from repro.gpu import GTX480_CALIBRATED, CostModel, GPUExecutor
+from repro.ir import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    FusedKernel,
+    HostToDevice,
+    LaunchKernel,
+    validate_program,
+)
+from repro.opt import fuse_program
+
+from tests.opt._programs import SHAPE, chain_program, pointwise_kernel
+
+
+def run(program):
+    ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    h_in = np.arange(32, dtype=np.int32).reshape(SHAPE)
+    return ex.run(program, {"h_in": h_in}).outputs["h_out"]
+
+
+def test_fuses_single_use_intermediate():
+    p = chain_program()
+    q, eliminated = fuse_program(p)
+    assert eliminated == ["d_mid"]
+    assert q.launch_count == 1
+    (launch,) = [op for op in q.ops if isinstance(op, LaunchKernel)]
+    assert isinstance(launch.kernel, FusedKernel)
+    assert [st.kernel.name for st in launch.kernel.stages] == ["k1", "k2"]
+    # the intermediate's allocation and free are gone with it
+    assert not any(
+        isinstance(op, AllocDevice) and op.buffer == "d_mid" for op in q.ops
+    )
+    validate_program(q)
+    assert np.array_equal(run(p), run(q))
+
+
+def test_fused_launch_is_never_modelled_slower():
+    p = chain_program()
+    q, _ = fuse_program(p)
+    ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    stage_total = sum(
+        ex.kernel_breakdown(op.kernel).total_us
+        for op in p.ops
+        if isinstance(op, LaunchKernel)
+    )
+    (launch,) = [op for op in q.ops if isinstance(op, LaunchKernel)]
+    fused = ex.kernel_breakdown(launch.kernel)
+    assert fused.total_us < stage_total
+    assert fused.launch_overhead_us == max(
+        ex.kernel_breakdown(op.kernel).launch_overhead_us
+        for op in p.ops
+        if isinstance(op, LaunchKernel)
+    )
+
+
+def test_transferred_intermediate_blocks_fusion():
+    # per-kernel placement downloads d_mid -> it is not private to the group
+    p = chain_program(frees=False)
+    ops = list(p.ops)
+    ops.insert(5, DeviceToHost("d_mid", "h_mid"))
+    p2 = DeviceProgram(
+        "chain", ops=tuple(ops),
+        host_inputs=p.host_inputs, host_outputs=("h_out", "h_mid"),
+    )
+    q, eliminated = fuse_program(p2)
+    assert eliminated == []
+    assert q.launch_count == 2
+
+
+def test_multi_consumer_intermediate_still_fuses_when_private():
+    # d_mid feeds two consumers; both join the fused group
+    k3 = pointwise_kernel("k3", "+", 5)
+    p = chain_program(frees=False)
+    ops = list(p.ops)
+    out_idx = next(
+        i for i, op in enumerate(ops) if isinstance(op, DeviceToHost)
+    )
+    ops.insert(out_idx, AllocDevice("d_out2", SHAPE))
+    ops.insert(
+        out_idx + 1, LaunchKernel(k3, (("src", "d_mid"), ("dst", "d_out2")))
+    )
+    ops.append(DeviceToHost("d_out2", "h_out2"))
+    p2 = DeviceProgram(
+        "chain", ops=tuple(ops),
+        host_inputs=p.host_inputs, host_outputs=("h_out", "h_out2"),
+    )
+    q, eliminated = fuse_program(p2)
+    assert eliminated == ["d_mid"]
+    assert q.launch_count == 1
+    validate_program(q)
+    h_in = np.arange(32, dtype=np.int32).reshape(SHAPE)
+    out = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(p2, {"h_in": h_in}).outputs
+    out_fused = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(q, {"h_in": h_in}).outputs
+    assert np.array_equal(out["h_out"], out_fused["h_out"])
+    assert np.array_equal(out["h_out2"], out_fused["h_out2"])
+
+
+def test_intervening_write_to_group_buffer_blocks_fusion():
+    # the upload between the launches redefines d_in, which stage 0 read:
+    # hoisting it out of the group would reorder it with the launches
+    k1 = pointwise_kernel("k1")
+    k2 = pointwise_kernel("k2", "*", 3)
+    ops = (
+        AllocDevice("d_in", SHAPE),
+        AllocDevice("d_mid", SHAPE),
+        AllocDevice("d_out", SHAPE),
+        HostToDevice("h_in", "d_in"),
+        LaunchKernel(k1, (("src", "d_in"), ("dst", "d_mid"))),
+        HostToDevice("h_in2", "d_in"),
+        LaunchKernel(k2, (("src", "d_mid"), ("dst", "d_out"))),
+        DeviceToHost("d_out", "h_out"),
+    )
+    p = DeviceProgram(
+        "chain", ops=ops, host_inputs=("h_in", "h_in2"), host_outputs=("h_out",)
+    )
+    q, eliminated = fuse_program(p)
+    # the upload between the launches touches d_in, read by stage 0 -> no fuse
+    assert eliminated == []
+    assert q.launch_count == 2

@@ -1,0 +1,170 @@
+"""Unit tests for the deletion/reordering passes in repro.opt.passes."""
+
+import numpy as np
+
+from repro.gpu import GTX480_CALIBRATED, CostModel, GPUExecutor
+from repro.ir import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    HostWork,
+    LaunchKernel,
+)
+from repro.opt import (
+    ProgramStats,
+    dead_code_elimination,
+    eliminate_redundant_transfers,
+    sink_frees_to_last_use,
+)
+
+from tests.opt._programs import SHAPE, chain_program, pointwise_kernel
+
+
+def run(program, h_in=None):
+    ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    h_in = np.arange(32, dtype=np.int32).reshape(SHAPE) if h_in is None else h_in
+    return ex.run(program, {"h_in": h_in}).outputs["h_out"]
+
+
+# -- dead-code elimination -----------------------------------------------------
+
+
+def test_dce_keeps_a_live_chain_intact():
+    p = chain_program()
+    q, removed = dead_code_elimination(p)
+    assert removed == 0
+    assert q is p
+
+
+def test_dce_removes_dead_download():
+    p = chain_program(extra_ops=[DeviceToHost("d_out", "h_scratch")])
+    q, removed = dead_code_elimination(p)
+    assert removed == 1
+    assert not any(
+        isinstance(op, DeviceToHost) and op.host == "h_scratch" for op in q.ops
+    )
+    assert np.array_equal(run(p), run(q))
+
+
+def test_dce_removes_dead_host_step_but_keeps_opaque_ones():
+    def noop(env):
+        env["h_tmp"] = env["h_out"]
+
+    dead = HostCompute(
+        "dead", noop, reads=("h_out",), writes=("h_tmp",), work=HostWork(items=1)
+    )
+    opaque = HostCompute("opaque", lambda env: None, reads=(), writes=(),
+                         work=HostWork(items=1))
+    p = chain_program(extra_ops=[dead, opaque])
+    q, removed = dead_code_elimination(p)
+    assert removed == 1
+    names = [op.name for op in q.ops if isinstance(op, HostCompute)]
+    assert names == ["opaque"]
+
+
+def test_dce_drops_never_touched_allocation():
+    p = chain_program(extra_ops=[AllocDevice("d_unused", SHAPE)])
+    q, removed = dead_code_elimination(p)
+    assert removed == 1
+    assert not any(
+        isinstance(op, AllocDevice) and op.buffer == "d_unused" for op in q.ops
+    )
+
+
+def test_dce_removes_dead_launch_and_its_buffers():
+    k = pointwise_kernel("dead_k")
+    p = chain_program(
+        extra_ops=[
+            AllocDevice("d_dead", SHAPE),
+            LaunchKernel(k, (("src", "d_out"), ("dst", "d_dead"))),
+            FreeDevice("d_dead"),
+        ]
+    )
+    q, removed = dead_code_elimination(p)
+    assert removed == 3
+    assert q.launch_count == p.launch_count - 1
+
+
+# -- redundant-transfer elimination --------------------------------------------
+
+
+def test_transfer_elim_deletes_reupload():
+    p = chain_program(frees=False)
+    ops = list(p.ops)
+    ops.insert(4, HostToDevice("h_in", "d_in"))  # re-upload, data unchanged
+    p2 = DeviceProgram("chain", ops=tuple(ops),
+                       host_inputs=p.host_inputs, host_outputs=p.host_outputs)
+    q, removed = eliminate_redundant_transfers(p2)
+    assert removed == 1
+    assert q.h2d_count == 1
+    assert np.array_equal(run(p2), run(q))
+
+
+def test_transfer_elim_keeps_upload_after_host_write():
+    def bump(env):
+        env["h_in"] = env["h_in"] + 1
+
+    p = chain_program(frees=False)
+    ops = list(p.ops)
+    ops.insert(
+        4,
+        HostCompute("bump", bump, reads=("h_in",), writes=("h_in",),
+                    work=HostWork(items=1)),
+    )
+    ops.insert(5, HostToDevice("h_in", "d_in"))
+    p2 = DeviceProgram("chain", ops=tuple(ops),
+                       host_inputs=p.host_inputs, host_outputs=p.host_outputs)
+    _, removed = eliminate_redundant_transfers(p2)
+    assert removed == 0
+
+
+def test_transfer_elim_kills_download_reupload_round_trip():
+    p = chain_program(frees=False)
+    ops = list(p.ops)
+    # per-kernel placement idiom: download d_out, then re-upload unchanged
+    ops.append(HostToDevice("h_out", "d_out"))
+    p2 = DeviceProgram("chain", ops=tuple(ops),
+                       host_inputs=p.host_inputs, host_outputs=p.host_outputs)
+    q, removed = eliminate_redundant_transfers(p2)
+    assert removed == 1
+    assert q.h2d_count == 1
+
+
+def test_transfer_elim_respects_kernel_write():
+    k = pointwise_kernel("clobber")
+    p = chain_program(frees=False)
+    ops = list(p.ops)
+    ops.insert(4, LaunchKernel(k, (("src", "d_out"), ("dst", "d_in"))))
+    ops.insert(5, HostToDevice("h_in", "d_in"))  # restores after the clobber
+    p2 = DeviceProgram("chain", ops=tuple(ops),
+                       host_inputs=p.host_inputs, host_outputs=p.host_outputs)
+    _, removed = eliminate_redundant_transfers(p2)
+    assert removed == 0
+
+
+# -- free sinking / pooling ----------------------------------------------------
+
+
+def test_sink_frees_moves_frees_to_last_use_and_marks_pooled():
+    p = chain_program()
+    q, moved = sink_frees_to_last_use(p)
+    assert q.pooled
+    assert moved >= 2  # d_in and d_mid die mid-program
+    kinds = [type(op).__name__ for op in q.ops]
+    # d_in dies right after the first launch, d_mid right after the second
+    assert kinds.index("FreeDevice") < kinds.index("DeviceToHost")
+    # all allocations sit up front here, so the static peak cannot grow;
+    # the interleaved route programs (test_pipeline) show the actual drop
+    assert ProgramStats.of(q).peak_device_bytes <= ProgramStats.of(p).peak_device_bytes
+    assert np.array_equal(run(p), run(q))
+
+
+def test_sink_frees_without_frees_still_enables_pooling():
+    p = chain_program(frees=False)
+    q, moved = sink_frees_to_last_use(p)
+    assert moved == 0
+    assert q.pooled
+    assert q.ops == p.ops

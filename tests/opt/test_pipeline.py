@@ -1,0 +1,146 @@
+"""End-to-end optimiser tests over both compilation routes (CIF)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import find_transfer_waste
+from repro.apps.downscaler import CIF, reference
+from repro.apps.downscaler.arrayol_model import (
+    downscaler_allocation,
+    downscaler_model,
+)
+from repro.apps.downscaler.sac_sources import NONGENERIC, downscaler_program_source
+from repro.apps.downscaler.video import channels_of, synthetic_frame
+from repro.arrayol.transform import GaspardContext, standard_chain
+from repro.errors import OptError
+from repro.gpu import GTX480_CALIBRATED, CostModel, GPUExecutor
+from repro.ir import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    HostToDevice,
+    LaunchKernel,
+)
+from repro.opt import OptOptions, certify_program, optimize_program
+from repro.sac.backend import CompileOptions, compile_function
+from repro.sac.parser import parse
+
+from tests.opt._programs import SHAPE, chain_program, pointwise_kernel
+
+
+def _sac_program(transfers="per_kernel", opt=None):
+    cf = compile_function(
+        parse(downscaler_program_source(CIF, NONGENERIC)),
+        "downscale",
+        CompileOptions(target="cuda", transfers=transfers, opt=opt),
+    )
+    return cf
+
+
+def test_sac_route_fully_optimised_is_bit_exact_and_clean():
+    cf = _sac_program(opt=OptOptions())
+    program, report = cf.program, cf.opt_report
+    assert report.certified
+    assert report.buffers_eliminated  # >= 1 intermediate fused away
+    assert report.bytes_saved > 0
+    assert report.after.peak_device_bytes < report.before.peak_device_bytes
+    assert find_transfer_waste(program) == []
+    chans = channels_of(synthetic_frame(CIF, 0))
+    res = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(
+        program, {"frame": chans["r"]}
+    )
+    assert np.array_equal(
+        res.outputs[program.host_outputs[0]],
+        reference.downscale_frame(chans["r"], CIF),
+    )
+
+
+def test_gaspard_route_fully_optimised_is_bit_exact_and_clean():
+    ctx = GaspardContext(
+        model=downscaler_model(CIF), allocation=downscaler_allocation()
+    )
+    standard_chain(transfers="per_kernel", opt=OptOptions()).run(ctx)
+    report = ctx.opt_report
+    assert report.certified
+    assert len(report.buffers_eliminated) == 3  # one horizontal stage per channel
+    assert find_transfer_waste(ctx.program) == []
+    chans = channels_of(synthetic_frame(CIF, 0))
+    res = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(
+        ctx.program, {f"in_{c}": v for c, v in chans.items()}
+    )
+    for c in "rgb":
+        assert np.array_equal(
+            res.outputs[f"out_{c}"], reference.downscale_frame(chans[c], CIF)
+        )
+
+
+def test_pass_toggles_are_independent():
+    cf = _sac_program(opt=OptOptions(fusion=False))
+    assert cf.opt_report.buffers_eliminated == ()
+    assert cf.program.launch_count > 1
+    cf = _sac_program(opt=OptOptions(pooling=False))
+    assert not cf.program.pooled
+    cf = _sac_program(opt=OptOptions(certify=False))
+    assert not cf.opt_report.certified
+
+
+def test_optimizer_never_worsens_static_stats():
+    for options in (
+        OptOptions(),
+        OptOptions(fusion=False),
+        OptOptions(dce=False),
+        OptOptions(transfers=False, pooling=False, certify=False),
+    ):
+        cf = _sac_program(opt=options)
+        r = cf.opt_report
+        assert r.after.ops <= r.before.ops
+        assert r.after.transferred_bytes <= r.before.transferred_bytes
+        assert r.after.peak_device_bytes <= r.before.peak_device_bytes
+
+
+def test_certification_refuses_barrier_removal_that_exposes_a_race():
+    # with transfer elimination off, DCE deletes the dead canvas step that
+    # was the only ordering between the naive placement's d2h/h2d round
+    # trip — the optimised program would race under the async model, and
+    # the certification gate refuses to return it
+    with pytest.raises(OptError, match="introduced new findings"):
+        _sac_program(opt=OptOptions(transfers=False, pooling=False))
+
+
+def test_certification_rejects_added_findings():
+    clean = chain_program(frees=False)
+    ops = list(clean.ops)
+    ops.insert(4, HostToDevice("h_in", "d_in"))  # a new XFER001
+    dirty = DeviceProgram(
+        "chain", ops=tuple(ops),
+        host_inputs=clean.host_inputs, host_outputs=clean.host_outputs,
+    )
+    with pytest.raises(OptError, match="introduced new findings"):
+        certify_program(clean, dirty, OptOptions())
+
+
+def test_certification_rejects_invalid_program():
+    clean = chain_program(frees=False)
+    k = pointwise_kernel("k_bad")
+    broken = DeviceProgram(
+        "broken",
+        ops=(
+            AllocDevice("d_in", SHAPE),
+            # launches on a never-allocated output buffer
+            LaunchKernel(k, (("src", "d_in"), ("dst", "d_ghost"))),
+            DeviceToHost("d_ghost", "h_out"),
+        ),
+        host_inputs=("h_in",),
+        host_outputs=("h_out",),
+    )
+    with pytest.raises(OptError, match="failed validation"):
+        certify_program(clean, broken, OptOptions())
+
+
+def test_optimize_program_reports_modelled_time():
+    cf = _sac_program()
+    ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    _, report = optimize_program(cf.program, OptOptions(), executor=ex)
+    assert report.before.serial_us is not None
+    assert report.after.serial_us is not None
+    assert report.us_saved > 0

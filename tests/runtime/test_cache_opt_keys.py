@@ -1,0 +1,77 @@
+"""Regression: optimiser/transfer options must be part of the cache keys.
+
+Compiling with ``opt=None`` and then ``opt=OptOptions()`` (or with a
+different transfer placement) must be two distinct cache entries — a
+stale unoptimised program served under an optimised key would silently
+void every ablation.
+"""
+
+from repro.apps.downscaler.arrayol_model import (
+    downscaler_allocation,
+    downscaler_model,
+)
+from repro.apps.downscaler.config import CIF
+from repro.apps.downscaler.sac_sources import NONGENERIC, downscaler_program_source
+from repro.opt import OptOptions
+from repro.runtime.cache import CompileCache, gaspard_key, sac_key
+from repro.sac.backend import CompileOptions
+
+
+def test_sac_opt_options_change_the_key():
+    src = downscaler_program_source(CIF, NONGENERIC)
+    base = CompileOptions(target="cuda")
+    assert sac_key(src, "downscale", base) != sac_key(
+        src, "downscale", CompileOptions(target="cuda", opt=OptOptions())
+    )
+    assert sac_key(src, "downscale", base) != sac_key(
+        src, "downscale", CompileOptions(target="cuda", transfers="per_kernel")
+    )
+    # distinct pass configurations are distinct keys too
+    assert sac_key(
+        src, "downscale", CompileOptions(target="cuda", opt=OptOptions())
+    ) != sac_key(
+        src,
+        "downscale",
+        CompileOptions(target="cuda", opt=OptOptions(fusion=False)),
+    )
+
+
+def test_gaspard_opt_options_change_the_key():
+    model, alloc = downscaler_model(CIF), downscaler_allocation()
+    base = gaspard_key(model, alloc)
+    assert base != gaspard_key(model, alloc, opt=OptOptions())
+    assert base != gaspard_key(model, alloc, transfers="per_kernel")
+    assert gaspard_key(model, alloc, opt=OptOptions()) != gaspard_key(
+        model, alloc, opt=OptOptions(pooling=False)
+    )
+
+
+def test_sac_compile_with_and_without_opt_are_separate_entries():
+    cache = CompileCache()
+    src = downscaler_program_source(CIF, NONGENERIC)
+    plain = cache.compile_sac(src, "downscale", CompileOptions(target="cuda"))
+    optimised = cache.compile_sac(
+        src, "downscale", CompileOptions(target="cuda", opt=OptOptions())
+    )
+    assert cache.stats.misses == 2
+    assert len(cache) == 2
+    assert optimised.program.launch_count < plain.program.launch_count
+    # repeat lookups hit
+    again = cache.compile_sac(
+        src, "downscale", CompileOptions(target="cuda", opt=OptOptions())
+    )
+    assert again is optimised
+    assert cache.stats.hits == 1
+
+
+def test_gaspard_compile_with_and_without_opt_are_separate_entries():
+    cache = CompileCache()
+    model, alloc = downscaler_model(CIF), downscaler_allocation()
+    ctx_plain, _ = cache.compile_gaspard(model, alloc)
+    ctx_opt, _ = cache.compile_gaspard(model, alloc, opt=OptOptions())
+    assert cache.stats.misses == 2
+    assert len(cache) == 2
+    assert ctx_opt.program.launch_count < ctx_plain.program.launch_count
+    ctx_again, _ = cache.compile_gaspard(model, alloc, opt=OptOptions())
+    assert ctx_again is ctx_opt
+    assert cache.stats.hits == 1

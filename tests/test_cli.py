@@ -206,3 +206,69 @@ def test_experiment_table_json(capsys):
         set(r) == {"operation", "calls", "gpu_time_us", "gpu_time_pct"}
         for r in t["rows"]
     )
+
+
+# -- repro opt -----------------------------------------------------------------
+
+
+def test_opt_reports_both_routes(capsys):
+    assert main(["opt", "--size", "cif"]) == 0
+    out = capsys.readouterr().out
+    assert "sac-nongeneric" in out
+    assert "gaspard" in out
+    assert "transferred bytes" in out
+    assert "buffers eliminated by fusion" in out
+    assert "certified hazard-free: yes" in out
+
+
+def test_opt_json(capsys):
+    import json
+
+    assert main(["opt", "--size", "cif", "--route", "sac", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["passes"] == ["dce", "transfer-elimination", "fusion", "pooling"]
+    (entry,) = doc["routes"]
+    assert entry["route"] == "sac-nongeneric"
+    assert entry["bytes_saved"] > 0
+    assert entry["us_saved"] > 0
+    assert entry["certified"]
+    assert entry["before"]["ops"] > entry["after"]["ops"]
+
+
+def test_opt_pass_toggles(capsys):
+    import json
+
+    assert main(
+        ["opt", "--size", "cif", "--route", "sac", "--no-fusion", "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["passes"] == ["dce", "transfer-elimination", "pooling"]
+    (entry,) = doc["routes"]
+    assert entry["buffers_eliminated"] == []
+
+
+def test_lint_assert_clean(capsys):
+    assert main(["lint", "--size", "cif", "--assert-clean"]) == 0
+    out = capsys.readouterr().out
+    assert "zero TRANSFER diagnostics" in out
+
+
+def test_lint_assert_clean_rejects_file_mode(tmp_path, capsys):
+    src = tmp_path / "p.sac"
+    src.write_text("int f(int a) { return a; }")
+    assert main(["lint", "--file", str(src), "--assert-clean"]) == 2
+
+
+def test_pipeline_opt_compares_baseline_and_optimised(capsys):
+    import json
+
+    assert main(
+        ["pipeline", "--route", "sac", "--size", "cif", "--frames", "2",
+         "--opt", "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    jobs = {r["job"]: r for r in doc["routes"]}
+    assert set(jobs) == {"sac-nongeneric", "sac-nongeneric+opt"}
+    opt = jobs["sac-nongeneric+opt"]
+    assert opt["baseline_job"] == "sac-nongeneric"
+    assert opt["fps_speedup_vs_baseline"] > 1.0
