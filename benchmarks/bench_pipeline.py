@@ -82,6 +82,21 @@ def test_pipeline_gaspard_hd_300(benchmark):
     _check_acceptance(r, FRAMES)
     # the per-frame host source/sink bounds the win to intra-frame overlap
     assert r.speedup > 1.05
+    # the hazard check stays linear at scale: the gaspard schedule carries
+    # a host step per frame, the shape that sent the old O(hosts x nodes)
+    # sweep quadratic.  ~4k nodes must verify well inside a second.
+    import time
+
+    from repro.runtime import schedule_violations
+
+    start = time.perf_counter()
+    assert schedule_violations(r.schedule) == []
+    elapsed = time.perf_counter() - start
+    print(f"schedule_violations: {len(r.schedule.nodes)} nodes in {elapsed:.3f}s")
+    assert elapsed < 1.0, (
+        f"schedule_violations took {elapsed:.2f}s on "
+        f"{len(r.schedule.nodes)} nodes — host-barrier check regressed?"
+    )
 
 
 def test_pipeline_smoke_cif(benchmark):

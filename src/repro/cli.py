@@ -11,7 +11,12 @@ Subcommands::
     repro overlap [--size hd|cif] [--frames N]
     repro pipeline [--route sac|gaspard|both] [--size hd|cif] [--frames N]
                    [--variant nongeneric|generic] [--depth D] [--serialize]
-                   [--no-validate] [--lint] [--opt] [--json]
+                   [--no-validate] [--lint] [--opt] [--trace [FILE]] [--json]
+    repro trace [--route sac|gaspard|both] [--size hd|cif] [--frames N]
+                [--variant nongeneric|generic] [--depth D] [--serialize]
+                [--opt] [--out FILE]
+    repro metrics [--route sac|gaspard|both] [--size hd|cif] [--frames N]
+                  [--format text|json]
     repro lint [--route sac|gaspard|all] [--size hd|cif]
                [--format text|json] [--baseline FILE] [--assert-clean]
                [--file SAC_FILE --entry F]
@@ -313,6 +318,12 @@ def _cmd_pipeline(args) -> int:
     hazard_failures = 0
     for route in routes:
         job = downscaler_job(route, size=size, variant=variant)
+        tracer = None
+        if args.trace:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+            pipe.tracer = tracer
         report = pipe.run(job, frames=args.frames)
         entry = report.as_dict()
         opt_entry = None
@@ -364,6 +375,23 @@ def _cmd_pipeline(args) -> int:
                     print(f"    {d.message}")
                 for v in haz.schedule_violations:
                     print(f"    schedule: {v}")
+        if args.trace:
+            from repro.obs import chrome_trace, write_chrome_trace
+
+            path = _trace_path(args.trace, route, multi=len(routes) > 1)
+            trace_doc = chrome_trace(
+                schedule=report.schedule,
+                tracer=tracer,
+                frame_batch=job.instances_per_frame,
+                name=f"{job.name} ({args.size}, {args.frames} frames)",
+            )
+            write_chrome_trace(path, trace_doc)
+            entry["trace"] = path
+            if not args.json:
+                print(
+                    f"  trace:      wrote {path} "
+                    f"({len(trace_doc['traceEvents'])} events)"
+                )
         if not args.json:
             print()
         doc["routes"].append(entry)
@@ -372,6 +400,110 @@ def _cmd_pipeline(args) -> int:
     if args.json:
         print(json.dumps(doc, indent=2))
     return EXIT_LINT_ERRORS if hazard_failures else EXIT_OK
+
+
+def _trace_path(out: str, route: str, multi: bool) -> str:
+    """Insert the route into the trace filename when serving both routes."""
+    if not multi:
+        return out
+    stem, dot, ext = out.rpartition(".")
+    if not dot:
+        return f"{out}.{route}"
+    return f"{stem}.{route}.{ext}"
+
+
+def _cmd_trace(args) -> int:
+    """Serve a traced pipeline run; write a Chrome/Perfetto trace per route."""
+    from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC
+    from repro.apps.downscaler.serving import downscaler_job
+    from repro.errors import ReproError
+    from repro.obs import (
+        Tracer,
+        chrome_trace,
+        engine_busy_from_trace,
+        write_chrome_trace,
+    )
+    from repro.report import render_span_tree
+    from repro.runtime import FramePipeline
+
+    size = _size(args.size)
+    variant = NONGENERIC if args.variant == "nongeneric" else GENERIC
+    routes = ("sac", "gaspard") if args.route == "both" else (args.route,)
+    depth = None if args.depth == 0 else args.depth
+    opt = None
+    if args.opt:
+        from repro.opt import OptOptions
+
+        opt = OptOptions()
+    for route in routes:
+        tracer = Tracer()
+        pipe = FramePipeline(depth=depth, serialize=args.serialize, tracer=tracer)
+        job = downscaler_job(route, size=size, variant=variant, opt=opt)
+        report = pipe.run(job, frames=args.frames)
+        doc = chrome_trace(
+            schedule=report.schedule,
+            tracer=tracer,
+            frame_batch=job.instances_per_frame,
+            name=f"{job.name} ({args.size}, {args.frames} frames)",
+        )
+        # the artefact must agree with the report it visualises
+        busy = engine_busy_from_trace(doc)
+        for engine, want in report.engine_busy_us.items():
+            got = busy.get(engine, 0.0)
+            if abs(got - want) > 1e-6 * max(1.0, abs(want)):
+                raise ReproError(
+                    f"trace export of {job.name}: engine {engine} busy "
+                    f"{got:.3f} us disagrees with the pipeline report "
+                    f"({want:.3f} us)"
+                )
+        path = _trace_path(args.out, route, multi=len(routes) > 1)
+        write_chrome_trace(path, doc)
+        print(f"=== trace {job.name} ({args.size}, {args.frames} frames) ===")
+        print(
+            f"  wrote {path}: {len(doc['traceEvents'])} events, "
+            f"modelled makespan {report.overlapped_us:.1f} us"
+        )
+        busy_line = " | ".join(
+            f"{e} {busy.get(e, 0.0):.1f} us"
+            for e in ("h2d", "compute", "d2h", "host")
+            if e in busy
+        )
+        print(f"  engine busy (trace == report): {busy_line}")
+        print("  open in https://ui.perfetto.dev or chrome://tracing")
+        print()
+        print(render_span_tree(tracer))
+        print()
+    return EXIT_OK
+
+
+def _cmd_metrics(args) -> int:
+    """Serve a short run per route; export the metrics registry."""
+    from repro.apps.downscaler.serving import downscaler_job
+    from repro.obs import (
+        MetricsRegistry,
+        collect_memory,
+        collect_pipeline_report,
+        collect_profiler,
+    )
+    from repro.runtime import FramePipeline
+
+    size = _size(args.size)
+    routes = ("sac", "gaspard") if args.route == "both" else (args.route,)
+    reg = MetricsRegistry()
+    for route in routes:
+        pipe = FramePipeline()
+        job = downscaler_job(route, size=size)
+        report = pipe.run(job, frames=args.frames)
+        collect_pipeline_report(reg, report, route=job.name)
+        collect_memory(reg, pipe.executor.memory, route=job.name)
+        collect_profiler(reg, pipe.executor.profiler, route=job.name)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(reg.as_dict(), indent=2))
+    else:
+        print(reg.render_text(), end="")
+    return EXIT_OK
 
 
 def _cmd_opt(args) -> int:
@@ -641,8 +773,68 @@ def main(argv: list[str] | None = None) -> int:
         "--opt", action="store_true",
         help="also serve the repro.opt-optimised program and report both",
     )
+    p.add_argument(
+        "--trace", nargs="?", const="trace.json", default=None, metavar="FILE",
+        help=(
+            "write a Chrome trace-event JSON of the served schedule "
+            "(route name inserted when --route both; default FILE trace.json)"
+        ),
+    )
     p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     p.set_defaults(fn=_cmd_pipeline)
+
+    p = sub.add_parser(
+        "trace",
+        help="write a Chrome/Perfetto trace of a pipeline run",
+        description=(
+            "Serves the synthetic video through the frame pipeline with the "
+            "span tracer enabled and writes a Chrome trace-event JSON: one "
+            "track per device engine (h2d/compute/d2h/host) from the modelled "
+            "schedule, flow arrows along dependence edges, and the host "
+            "wall-clock compile/opt/schedule/execute span tree alongside. "
+            "Open the file in https://ui.perfetto.dev or chrome://tracing."
+        ),
+    )
+    p.add_argument("--route", choices=("sac", "gaspard", "both"), default="both")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument(
+        "--variant", choices=("nongeneric", "generic"), default="nongeneric",
+        help="SaC route variant",
+    )
+    p.add_argument(
+        "--depth", type=int, default=2,
+        help="device buffer slots per array (0 = one per run)",
+    )
+    p.add_argument(
+        "--serialize", action="store_true",
+        help="disable overlap (the paper's measurement regime)",
+    )
+    p.add_argument(
+        "--opt", action="store_true",
+        help="trace the repro.opt-optimised program instead of the baseline",
+    )
+    p.add_argument(
+        "--out", default="trace.json",
+        help="output file (route name inserted when --route both)",
+    )
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="export the runtime metrics registry (text or JSON)",
+        description=(
+            "Serves a short run per route and prints the repro.obs metrics "
+            "registry: compile-cache counters, device allocator traffic, "
+            "schedule engine busy/occupancy and pipeline throughput/latency, "
+            "as Prometheus-style text or JSON."
+        ),
+    )
+    p.add_argument("--route", choices=("sac", "gaspard", "both"), default="both")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(fn=_cmd_metrics)
 
     p = sub.add_parser("downscale", help="downscale one synthetic frame")
     p.add_argument("--size", choices=("hd", "cif"), default="hd")

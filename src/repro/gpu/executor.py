@@ -39,6 +39,7 @@ from repro.ir.program import (
     HostToDevice,
     LaunchKernel,
 )
+from repro.obs.span import current_tracer
 
 __all__ = ["RunResult", "GPUExecutor"]
 
@@ -139,8 +140,22 @@ class GPUExecutor:
         ``host_env`` must bind every name in ``program.host_inputs``; the
         result's ``outputs`` contains every name in ``program.host_outputs``.
         With ``functional=False`` only time is accrued (allocations are
-        still tracked so leaks/OOM remain visible).
+        still tracked so leaks/OOM remain visible).  The run is recorded
+        as one ``execute`` span on the ambient tracer.
         """
+        with current_tracer().span(
+            f"execute:{program.name}", category="execute", functional=functional
+        ) as span:
+            result = self._run(program, host_env, functional)
+            span.set(total_us=result.total_us)
+            return result
+
+    def _run(
+        self,
+        program: DeviceProgram,
+        host_env: dict[str, np.ndarray] | None,
+        functional: bool,
+    ) -> RunResult:
         env: dict[str, np.ndarray] = dict(host_env or {})
         if program.pooled != self.memory.pooling:
             self.memory.set_pooling(program.pooled)

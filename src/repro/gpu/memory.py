@@ -127,10 +127,24 @@ class MemoryManager:
         return name in self._buffers
 
     def reset(self) -> None:
-        """Free everything (device reset)."""
+        """Free everything and zero the statistics (full device reset).
+
+        A reset device reports fresh numbers: without the counter reset,
+        back-to-back pipeline runs read the *previous* run's peak and
+        alloc/free totals.  Use :meth:`reset_stats` to re-base the
+        statistics while keeping live allocations.
+        """
         self._buffers.clear()
         self._bytes_in_use = 0
         self.drain_pool()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the cumulative counters; the peak re-bases to current usage."""
+        self._peak_bytes = self._bytes_in_use + self._pool_bytes
+        self._alloc_count = 0
+        self._free_count = 0
+        self._pool_hits = 0
 
     # -- accounting --------------------------------------------------------------
 

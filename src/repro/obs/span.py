@@ -1,0 +1,215 @@
+"""Structured span tracing: where a pipeline run spends its wall time.
+
+A :class:`Tracer` records a tree of named, timed :class:`Span` objects via
+a context-manager API::
+
+    with Tracer() as tracer:           # installs as the current tracer
+        pipe.run(job, frames=4)        # compile/opt/schedule spans land here
+    print(render_span_tree(tracer))
+
+Instrumented components (:class:`~repro.runtime.cache.CompileCache`, the
+:mod:`repro.opt` passes, :func:`~repro.runtime.schedule.build_schedule`,
+:class:`~repro.gpu.executor.GPUExecutor`) do not take a tracer parameter;
+they fetch the ambient one with :func:`current_tracer`, which defaults to
+the disabled :data:`NULL_TRACER`.  The disabled path is no-op cheap: a
+disabled tracer's :meth:`~Tracer.span` returns one shared null context
+manager without allocating, so instrumentation can stay on the hot path
+unconditionally.
+
+Span times are host wall-clock microseconds relative to the tracer's
+creation (``time.perf_counter``) — the *measurement* domain, distinct
+from the modelled device-time domain of
+:class:`~repro.runtime.schedule.PipelineSchedule`.  The Chrome exporter
+(:mod:`repro.obs.chrometrace`) renders both side by side.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "current_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One named, timed region of a traced run."""
+
+    id: int
+    name: str
+    category: str
+    parent_id: int | None
+    start_us: float
+    end_us: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span; chainable inside ``with``."""
+        self.attrs.update(attrs)
+        return self
+
+
+class _NullSpan:
+    """The shared do-nothing span of a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager opening one live span on enter."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._open(self._name, self._category, self._attrs)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.span.attrs.setdefault("error", repr(exc))
+        self._tracer._close(self.span)
+        return False
+
+
+class Tracer:
+    """Collects a span tree; installable as the ambient current tracer."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: finished spans, in completion order (children before parents)
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._epoch = time.perf_counter()
+        self._next_id = 0
+        self._tokens: list = []
+
+    # -- recording -----------------------------------------------------------
+
+    def now_us(self) -> float:
+        """Wall-clock microseconds since this tracer was created."""
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def span(self, name: str, category: str = "phase", **attrs):
+        """A context manager recording one span (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanHandle(self, name, category, attrs)
+
+    def event(self, name: str, category: str = "event", **attrs) -> None:
+        """Record an instant (zero-duration span) at the current time."""
+        if not self.enabled:
+            return
+        now = self.now_us()
+        span = self._open(name, category, attrs)
+        span.start_us = span.end_us = now
+        self._close(span, at=now)
+
+    def _open(self, name: str, category: str, attrs: dict) -> Span:
+        span = Span(
+            id=self._next_id,
+            name=name,
+            category=category,
+            parent_id=self._stack[-1].id if self._stack else None,
+            start_us=self.now_us(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span, at: float | None = None) -> None:
+        span.end_us = self.now_us() if at is None else at
+        # tolerate out-of-order exits rather than corrupting the stack
+        if span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        self.spans.append(span)
+
+    # -- queries -------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Top-level spans in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent_id is None),
+            key=lambda s: (s.start_us, s.id),
+        )
+
+    def children(self, span: Span) -> list[Span]:
+        return sorted(
+            (s for s in self.spans if s.parent_id == span.id),
+            key=lambda s: (s.start_us, s.id),
+        )
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def total_us(self, category: str | None = None) -> float:
+        return sum(
+            s.duration_us
+            for s in self.spans
+            if category is None or s.category == category
+        )
+
+    # -- installation as the ambient tracer ----------------------------------
+
+    def __enter__(self) -> "Tracer":
+        self._tokens.append(_CURRENT.set(self))
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _CURRENT.reset(self._tokens.pop())
+        return False
+
+
+#: the ambient tracer instrumented components report to
+_CURRENT: ContextVar[Tracer] = ContextVar("repro-current-tracer")
+
+#: the default: tracing disabled, every span a shared no-op
+NULL_TRACER = Tracer(enabled=False)
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer (the disabled :data:`NULL_TRACER` by default)."""
+    return _CURRENT.get(NULL_TRACER)
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` as the ambient tracer for the enclosed block."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)

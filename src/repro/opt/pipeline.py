@@ -17,6 +17,7 @@ from collections import Counter
 from repro.errors import OptError
 from repro.ir.program import DeviceProgram
 from repro.ir.validate import validate_program
+from repro.obs.span import current_tracer
 from repro.opt.fusion import fuse_program
 from repro.opt.options import OptOptions
 from repro.opt.passes import (
@@ -95,54 +96,75 @@ def optimize_program(
     the report include modelled serial microseconds before and after.
     """
     options = OptOptions() if options is None else options
+    tracer = current_tracer()
     before = program
     notes: list[tuple[str, str]] = []
     eliminated: tuple[str, ...] = ()
 
-    # DCE and transfer elimination feed each other: removing a redundant
-    # upload makes its source download dead, removing a dead host step
-    # makes its download dead, and so on — iterate to a joint fixpoint
-    for _ in range(len(program.ops) + 1):
-        changed = 0
-        if options.dce:
-            program, n = dead_code_elimination(program)
-            if n:
-                notes.append(("dce", f"removed {n} dead ops"))
-            changed += n
-        if options.transfers:
-            program, n = eliminate_redundant_transfers(program)
-            if n:
-                notes.append(("transfer-elimination",
-                              f"removed {n} redundant uploads"))
-            changed += n
-        if not changed:
-            break
+    with tracer.span(f"opt:{program.name}", category="opt") as opt_span:
+        # DCE and transfer elimination feed each other: removing a redundant
+        # upload makes its source download dead, removing a dead host step
+        # makes its download dead, and so on — iterate to a joint fixpoint
+        for _ in range(len(program.ops) + 1):
+            changed = 0
+            if options.dce:
+                with tracer.span("opt-pass:dce", category="opt-pass") as sp:
+                    program, n = dead_code_elimination(program)
+                    sp.set(removed=n)
+                if n:
+                    notes.append(("dce", f"removed {n} dead ops"))
+                changed += n
+            if options.transfers:
+                with tracer.span(
+                    "opt-pass:transfer-elimination", category="opt-pass"
+                ) as sp:
+                    program, n = eliminate_redundant_transfers(program)
+                    sp.set(removed=n)
+                if n:
+                    notes.append(("transfer-elimination",
+                                  f"removed {n} redundant uploads"))
+                changed += n
+            if not changed:
+                break
 
-    if options.fusion:
-        program, buffers = fuse_program(program)
-        eliminated = tuple(buffers)
-        if buffers:
+        if options.fusion:
+            with tracer.span("opt-pass:fusion", category="opt-pass") as sp:
+                program, buffers = fuse_program(program)
+                sp.set(fused_buffers=len(buffers))
+            eliminated = tuple(buffers)
+            if buffers:
+                notes.append(
+                    ("fusion",
+                     f"fused {len(buffers)} intermediate(s): {', '.join(buffers)}")
+                )
+            if options.dce:  # fusion can strand allocations of moved frees
+                with tracer.span("opt-pass:dce", category="opt-pass") as sp:
+                    program, n = dead_code_elimination(program)
+                    sp.set(removed=n)
+                if n:
+                    notes.append(("dce", f"removed {n} dead ops after fusion"))
+
+        if options.pooling:
+            with tracer.span("opt-pass:pooling", category="opt-pass") as sp:
+                program, moved = sink_frees_to_last_use(program)
+                sp.set(frees_sunk=moved)
             notes.append(
-                ("fusion",
-                 f"fused {len(buffers)} intermediate(s): {', '.join(buffers)}")
+                ("pooling",
+                 f"sank {moved} frees to last use; pooled allocation enabled")
             )
-        if options.dce:  # fusion can strand allocations of moved frees
-            program, n = dead_code_elimination(program)
-            if n:
-                notes.append(("dce", f"removed {n} dead ops after fusion"))
 
-    if options.pooling:
-        program, moved = sink_frees_to_last_use(program)
-        notes.append(
-            ("pooling",
-             f"sank {moved} frees to last use; pooled allocation enabled")
+        diagnostics: tuple = ()
+        certified = False
+        if options.certify:
+            with tracer.span("opt-pass:certify", category="opt-pass") as sp:
+                diagnostics = certify_program(before, program, options)
+                sp.set(findings=len(diagnostics))
+            certified = True
+        opt_span.set(
+            passes=len(notes),
+            ops_before=len(before.ops),
+            ops_after=len(program.ops),
         )
-
-    diagnostics: tuple = ()
-    certified = False
-    if options.certify:
-        diagnostics = certify_program(before, program, options)
-        certified = True
 
     report = OptReport(
         program=program.name,

@@ -3,6 +3,7 @@
 from repro.report.figures import bar, render_figure9, render_figure12
 from repro.report.gantt import render_gantt
 from repro.report.format import format_pct, format_seconds, format_us, render_grid
+from repro.report.spans import render_span_tree
 from repro.report.tables import (
     PAPER_TABLE1,
     PAPER_TABLE2,
@@ -16,4 +17,5 @@ __all__ = [
     "render_operation_table", "compare_to_paper", "render_comparison",
     "PAPER_TABLE1", "PAPER_TABLE2",
     "render_figure9", "render_figure12", "bar", "render_gantt",
+    "render_span_tree",
 ]

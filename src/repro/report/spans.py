@@ -1,0 +1,40 @@
+"""Text rendering of tracer span trees (``repro trace`` terminal output)."""
+
+from __future__ import annotations
+
+from repro.obs.span import Span, Tracer
+
+__all__ = ["render_span_tree"]
+
+
+def _attrs(span: Span) -> str:
+    if not span.attrs:
+        return ""
+    inner = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+    return f"  {inner}"
+
+
+def render_span_tree(tracer: Tracer, min_us: float = 0.0) -> str:
+    """An indented tree of the tracer's spans with durations.
+
+    ``min_us`` hides spans shorter than the threshold (their subtrees
+    included) so large traces stay readable.
+    """
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        if span.duration_us < min_us:
+            return
+        label = "  " * depth + span.name
+        lines.append(
+            f"{label:<44s} {span.duration_us:12.1f} us  "
+            f"[{span.category}]{_attrs(span)}"
+        )
+        for child in tracer.children(span):
+            walk(child, depth + 1)
+
+    for root in tracer.roots():
+        walk(root, 0)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)

@@ -21,7 +21,13 @@ three engines (H2D copy, compute, D2H copy) actually could:
 ``repro pipeline`` drives it from the CLI.
 """
 
-from repro.runtime.cache import CacheStats, CompileCache, gaspard_key, sac_key
+from repro.runtime.cache import (
+    CacheStats,
+    CompileCache,
+    canonical,
+    gaspard_key,
+    sac_key,
+)
 from repro.runtime.executor import StreamExecutor, StreamRunResult
 from repro.runtime.pipeline import FramePipeline, PipelineJob, PipelineReport
 from repro.runtime.schedule import (
@@ -41,7 +47,7 @@ from repro.runtime.unroll import (
 __all__ = [
     "build_schedule", "schedule_violations", "PipelineSchedule", "ScheduledNode",
     "StreamExecutor", "StreamRunResult",
-    "CompileCache", "CacheStats", "sac_key", "gaspard_key",
+    "CompileCache", "CacheStats", "sac_key", "gaspard_key", "canonical",
     "FramePipeline", "PipelineJob", "PipelineReport",
     "unroll_pipeline", "UnrolledPipeline",
     "check_pipeline_hazards", "PipelineHazardReport", "ResolvedHazard",

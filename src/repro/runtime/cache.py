@@ -21,11 +21,16 @@ acceptance gate requires >= frames-1 hits per route over a video run.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable
 
-__all__ = ["CacheStats", "CompileCache", "sac_key", "gaspard_key"]
+import numpy as np
+
+from repro.obs.span import current_tracer
+
+__all__ = ["CacheStats", "CompileCache", "canonical", "sac_key", "gaspard_key"]
 
 
 def _digest(*parts: str) -> str:
@@ -36,9 +41,56 @@ def _digest(*parts: str) -> str:
     return h.hexdigest()
 
 
+def canonical(value) -> str:
+    """A content-complete canonical serialisation for cache keys.
+
+    ``repr()`` is *not* content-complete: ``numpy.ndarray.__repr__``
+    elides large arrays with ``...``, so two models differing only inside
+    a big array repr identically — and would digest to the same cache key,
+    serving a stale compiled program.  This serialiser recurses
+    dataclasses, containers and ndarrays (shape + dtype + a digest of the
+    raw bytes) and names callables by module/qualname (their repr embeds
+    a memory address, which is unstable across runs).
+    """
+    if isinstance(value, np.ndarray):
+        payload = hashlib.sha256(
+            np.ascontiguousarray(value).tobytes()
+        ).hexdigest()
+        return (
+            f"ndarray(shape={tuple(value.shape)},dtype={value.dtype.str},"
+            f"sha256={payload})"
+        )
+    if isinstance(value, np.generic):
+        return f"{type(value).__name__}({value!r})"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({fields})"
+    if isinstance(value, tuple):
+        return "(" + ",".join(canonical(v) for v in value) + ")"
+    if isinstance(value, list):
+        return "[" + ",".join(canonical(v) for v in value) + "]"
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical(k), canonical(v)) for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (set, frozenset)):
+        return "set{" + ",".join(sorted(canonical(v) for v in value)) + "}"
+    if value is None or isinstance(value, (bool, int, float, complex, str, bytes)):
+        return repr(value)
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        qualname = getattr(value, "__qualname__", type(value).__qualname__)
+        return f"callable:{module}.{qualname}"
+    return repr(value)
+
+
 def sac_key(source: str, entry: str, options) -> tuple:
     """Cache key of one SaC compilation (source x entry x options)."""
-    return ("sac", entry, _digest(source, repr(options)))
+    return ("sac", entry, _digest(source, canonical(options)))
 
 
 def gaspard_key(
@@ -54,17 +106,17 @@ def gaspard_key(
     ``opt`` and ``transfers`` reconfigure the chain's emitted program, so
     they are part of the content key — toggling the optimiser can never
     serve a stale unoptimised program (the SaC route gets the same
-    guarantee through ``repr(CompileOptions)`` in :func:`sac_key`).
+    guarantee through ``canonical(CompileOptions)`` in :func:`sac_key`).
     """
     return (
         "gaspard",
         _digest(
-            repr(model),
-            repr(allocation),
-            repr(tuple(chain_passes)),
-            repr(bool(lint)),
-            repr(opt),
-            repr(transfers),
+            canonical(model),
+            canonical(allocation),
+            canonical(tuple(chain_passes)),
+            canonical(bool(lint)),
+            canonical(opt),
+            canonical(transfers),
         ),
     )
 
@@ -124,9 +176,15 @@ class CompileCache:
             value = self._entries[key]
         except KeyError:
             self.stats.misses += 1
-            value = self._entries[key] = builder()
+            with current_tracer().span(
+                f"compile:{key[0]}", category="compile", cache="miss"
+            ):
+                value = self._entries[key] = builder()
         else:
             self.stats.hits += 1
+            current_tracer().event(
+                f"compile:{key[0]}", category="compile", cache="hit"
+            )
         return value
 
     def invalidate(self, key: tuple) -> bool:

@@ -21,6 +21,7 @@ from repro.gpu.device import GTX480, DeviceSpec
 from repro.gpu.executor import GPUExecutor, RunResult
 from repro.gpu.profiler import Profiler
 from repro.ir.program import DeviceProgram
+from repro.obs.span import current_tracer
 from repro.runtime.schedule import PipelineSchedule, build_schedule
 
 __all__ = ["StreamRunResult", "StreamExecutor"]
@@ -95,10 +96,15 @@ class StreamExecutor:
         ``runs`` across the three engines.  Outputs are exactly those of
         :meth:`GPUExecutor.run`.
         """
-        serial_result = self.gpu.run(program, host_env, functional=functional)
-        schedule = build_schedule(
-            program, self.gpu, runs=runs, depth=self.depth, serialize=self.serialize
-        )
+        with current_tracer().span(
+            f"stream-execute:{program.name}", category="execute", runs=runs
+        ) as span:
+            serial_result = self.gpu.run(program, host_env, functional=functional)
+            schedule = build_schedule(
+                program, self.gpu, runs=runs, depth=self.depth,
+                serialize=self.serialize,
+            )
+            span.set(overlapped_us=schedule.makespan_us)
         return StreamRunResult(
             program=program.name,
             serial_us=schedule.serial_us,

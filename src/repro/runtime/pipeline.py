@@ -25,7 +25,8 @@ from repro.errors import ReproError
 from repro.gpu.calibration import GTX480_CALIBRATED
 from repro.gpu.cost import CostModel, CostParams
 from repro.gpu.executor import GPUExecutor
-from repro.ir.program import DeviceProgram, DeviceToHost, HostToDevice
+from repro.ir.program import AllocDevice, DeviceProgram, DeviceToHost, HostToDevice
+from repro.obs.span import Tracer, current_tracer, use_tracer
 from repro.runtime.cache import CacheStats, CompileCache
 from repro.runtime.schedule import PipelineSchedule, build_schedule
 
@@ -125,6 +126,7 @@ class FramePipeline:
         serialize: bool = False,
         cache: CompileCache | None = None,
         validate: str = "first",
+        tracer: Tracer | None = None,
     ):
         if validate not in ("first", "all", "none"):
             raise ValueError(f"validate must be first/all/none, not {validate!r}")
@@ -133,6 +135,9 @@ class FramePipeline:
         self.serialize = serialize
         self.cache = cache if cache is not None else CompileCache()
         self.validate = validate
+        #: spans of every stage land here; ``None`` defers to the ambient
+        #: tracer installed around :meth:`run` (disabled by default)
+        self.tracer = tracer
 
     def _validate(self, job: PipelineJob, program: DeviceProgram, frame: int,
                   instance: int) -> bool:
@@ -151,34 +156,56 @@ class FramePipeline:
         return True
 
     def run(self, job: PipelineJob, frames: int) -> PipelineReport:
-        """Serve ``frames`` frames of ``job``; returns the metrics report."""
+        """Serve ``frames`` frames of ``job``; returns the metrics report.
+
+        When a :class:`~repro.obs.span.Tracer` was passed to the
+        constructor it is installed as the ambient tracer for the whole
+        run, so the compile/opt/schedule/execute spans of every stage —
+        including those recorded deep inside the backends — land in one
+        tree.  Tracing never perturbs the report: all durations are
+        modelled, not measured.
+        """
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        with use_tracer(tracer):
+            return self._run(job, frames, tracer)
+
+    def _run(self, job: PipelineJob, frames: int, tracer: Tracer) -> PipelineReport:
         if frames <= 0:
             raise ValueError("frames must be positive")
         before = self.cache.stats.snapshot()
 
-        # compile stage: once per frame through the cache (a real server
-        # compiles on frame arrival; the cache makes every frame after the
-        # first a hit)
-        program = None
-        for f in range(frames):
-            program = job.compile(self.cache)
-        cache_delta = self.cache.stats.since(before)
+        with tracer.span(
+            f"pipeline:{job.name}", category="pipeline", frames=frames
+        ) as pipe_span:
+            # compile stage: once per frame through the cache (a real server
+            # compiles on frame arrival; the cache makes every frame after
+            # the first a hit)
+            with tracer.span("compile-stage", category="pipeline-stage") as sp:
+                program = None
+                for f in range(frames):
+                    program = job.compile(self.cache)
+                cache_delta = self.cache.stats.since(before)
+                sp.set(hits=cache_delta.hits, misses=cache_delta.misses)
 
-        # functional stage: bit-exact validation against the job's golden
-        validated = 0
-        if self.validate == "first":
-            validated += int(self._validate(job, program, 0, 0))
-        elif self.validate == "all":
-            for f in range(frames):
-                for i in range(job.instances_per_frame):
-                    validated += int(self._validate(job, program, f, i))
+            # functional stage: bit-exact validation against the job's golden
+            with tracer.span("validate-stage", category="pipeline-stage") as sp:
+                validated = 0
+                if self.validate == "first":
+                    validated += int(self._validate(job, program, 0, 0))
+                elif self.validate == "all":
+                    for f in range(frames):
+                        for i in range(job.instances_per_frame):
+                            validated += int(self._validate(job, program, f, i))
+                sp.set(validated=validated)
 
-        # temporal stage: schedule every run across the three engines
-        runs = frames * job.instances_per_frame
-        schedule = build_schedule(
-            program, self.executor, runs=runs, depth=self.depth,
-            serialize=self.serialize,
-        )
+            # temporal stage: schedule every run across the three engines
+            with tracer.span("schedule-stage", category="pipeline-stage"):
+                runs = frames * job.instances_per_frame
+                schedule = build_schedule(
+                    program, self.executor, runs=runs, depth=self.depth,
+                    serialize=self.serialize,
+                )
+            pipe_span.set(program=program.name, runs=runs)
         latencies = schedule.latencies_us(batch=job.instances_per_frame)
         makespan = schedule.makespan_us
         busy = {e: schedule.engine_busy_us(e) for e in schedule.engines}
@@ -207,14 +234,31 @@ class FramePipeline:
         )
 
     def _transfer_serial_us(self, program: DeviceProgram, runs: int) -> float:
+        """Serial transfer time of ``runs`` executions of ``program``.
+
+        Dispatches on explicit op types: only :class:`AllocDevice` defines
+        a buffer's size.  (An earlier duck-typed ``hasattr(op, "nbytes")``
+        check silently miscounted any op that happened to carry those
+        attributes — e.g. future fused/annotated ops — and let transfers
+        on unknown buffers KeyError without context.)
+        """
         cost = self.executor.cost
-        sizes = {}
+        sizes: dict[str, int] = {}
         total = 0.0
         for op in program.ops:
-            if hasattr(op, "nbytes") and hasattr(op, "buffer"):
+            if isinstance(op, AllocDevice):
                 sizes[op.buffer] = op.nbytes
-            elif isinstance(op, HostToDevice):
-                total += cost.h2d_time_us(sizes[op.device])
-            elif isinstance(op, DeviceToHost):
-                total += cost.d2h_time_us(sizes[op.device])
+            elif isinstance(op, (HostToDevice, DeviceToHost)):
+                nbytes = sizes.get(op.device)
+                if nbytes is None:
+                    kind = "H2D into" if isinstance(op, HostToDevice) else "D2H from"
+                    raise ReproError(
+                        f"pipeline transfer accounting of {program.name!r}: "
+                        f"{kind} buffer {op.device!r} with no preceding "
+                        f"AllocDevice (known buffers: {sorted(sizes) or 'none'})"
+                    )
+                if isinstance(op, HostToDevice):
+                    total += cost.h2d_time_us(nbytes)
+                else:
+                    total += cost.d2h_time_us(nbytes)
         return total * runs

@@ -38,6 +38,7 @@ from repro.ir.program import (
     HostToDevice,
     LaunchKernel,
 )
+from repro.obs.span import current_tracer
 
 __all__ = [
     "ScheduledNode",
@@ -147,7 +148,25 @@ def build_schedule(
     functionally).  ``depth`` is the number of physical slots backing each
     device buffer (``None`` — one per run, i.e. unbounded buffering);
     ``serialize=True`` chains every operation after the previous one.
+    The work is recorded as one ``schedule`` span on the ambient tracer.
     """
+    with current_tracer().span(
+        f"build_schedule:{program.name}", category="schedule",
+        runs=runs, depth=depth if depth is not None else runs,
+        serialize=serialize,
+    ) as span:
+        schedule = _build_schedule(program, executor, runs, depth, serialize)
+        span.set(nodes=len(schedule.nodes), makespan_us=schedule.makespan_us)
+        return schedule
+
+
+def _build_schedule(
+    program: DeviceProgram,
+    executor,
+    runs: int,
+    depth: int | None,
+    serialize: bool,
+) -> PipelineSchedule:
     if runs <= 0:
         raise ValueError("runs must be positive")
     depth = runs if depth is None else depth
@@ -374,19 +393,27 @@ def schedule_violations(schedule: PipelineSchedule) -> list[str]:
         for res in n.reads:
             last_readers.setdefault(res, []).append(n)
 
-    # host steps serialise against each other and block later issue
-    hosts = [n for n in schedule.nodes if n.engine == "host"]
-    for a, b in zip(hosts, hosts[1:]):
-        if b.start_us < a.end_us - _EPS:
-            out.append(
-                f"host: node {b.id} ({b.name}) starts before node {a.id} "
-                f"({a.name}) ends"
-            )
-    for h in hosts:
-        for n in schedule.nodes:
-            if n.id > h.id and n.start_us < h.end_us - _EPS:
+    # host steps serialise against each other and block all later issue.
+    # One ordered pass tracking the latest-ending host step issued so far —
+    # a node violates the barrier iff it starts before that maximum, so the
+    # check is O(nodes) instead of the old O(hosts x nodes) sweep (which
+    # went quadratic on 300-frame schedules with per-frame host steps).
+    last_host: ScheduledNode | None = None
+    for n in sorted(schedule.nodes, key=lambda n: n.id):
+        if last_host is not None and n.start_us < last_host.end_us - _EPS:
+            if n.engine == "host":
+                out.append(
+                    f"host: node {n.id} ({n.name}) starts before node "
+                    f"{last_host.id} ({last_host.name}) ends"
+                )
+            else:
                 out.append(
                     f"host barrier: node {n.id} ({n.name}) issued after host "
-                    f"step {h.id} ({h.name}) but starts before it ends"
+                    f"step {last_host.id} ({last_host.name}) but starts "
+                    f"before it ends"
                 )
+        if n.engine == "host" and (
+            last_host is None or n.end_us > last_host.end_us
+        ):
+            last_host = n
     return out

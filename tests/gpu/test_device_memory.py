@@ -119,3 +119,36 @@ class TestMemoryManager:
         mm.reset()
         assert mm.bytes_in_use == 0
         assert mm.live_buffers == ()
+
+    def test_reset_zeroes_every_statistic(self):
+        """Regression: ``reset()`` used to clear the buffers but leave
+        the peak and the alloc/free/pool-hit counters at their previous
+        totals, so back-to-back runs reported stale numbers."""
+        mm = MemoryManager(tiny_device())
+        mm.set_pooling(True)
+        mm.alloc("a", (8,))
+        mm.free("a")
+        mm.alloc("a2", (8,))  # served from the pool
+        assert (mm.alloc_count, mm.free_count, mm.pool_hits) == (2, 1, 1)
+        assert mm.peak_bytes > 0
+        mm.reset()
+        assert mm.peak_bytes == 0
+        assert mm.alloc_count == 0
+        assert mm.free_count == 0
+        assert mm.pool_hits == 0
+        assert mm.pool_bytes == 0
+        # a fresh run after reset reports only its own traffic
+        mm.alloc("b", (4,))
+        assert (mm.alloc_count, mm.peak_bytes) == (1, 16)
+
+    def test_reset_stats_rebases_peak_to_live_usage(self):
+        mm = MemoryManager(tiny_device())
+        mm.alloc("big", (64,))
+        mm.free("big")
+        mm.alloc("small", (4,))
+        assert mm.peak_bytes == 256
+        mm.reset_stats()
+        # live allocations survive; the peak re-bases to what is held now
+        assert mm.live_buffers == ("small",)
+        assert mm.peak_bytes == mm.bytes_in_use == 16
+        assert (mm.alloc_count, mm.free_count) == (0, 0)

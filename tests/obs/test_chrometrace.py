@@ -1,0 +1,179 @@
+"""The Chrome trace exporter: schema validity, completeness, agreement.
+
+The property test is the satellite the issue asked for: over arbitrary
+schedules (hypothesis-varied run counts, buffering depths and the
+serialise knob) the exported document contains every scheduled node
+exactly once, on the track its engine owns, nests its B/E events
+validly, and passes the minimal schema check.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.downscaler import CIF
+from repro.apps.downscaler.serving import downscaler_job
+from repro.errors import ReproError
+from repro.gpu import CostModel, GPUExecutor, GTX480_CALIBRATED
+from repro.obs import (
+    DEVICE_PID,
+    TRACER_PID,
+    Tracer,
+    assert_valid_chrome_trace,
+    chrome_trace,
+    engine_busy_from_trace,
+    schedule_events,
+    tracer_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.chrometrace import _ENGINE_TIDS
+from repro.runtime import FramePipeline, build_schedule
+from tests.opt._programs import chain_program
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return GPUExecutor(CostModel(GTX480_CALIBRATED))
+
+
+@pytest.fixture(scope="module")
+def gaspard_report():
+    """A pipeline run whose program includes host steps (all four engines)."""
+    pipe = FramePipeline(validate="none")
+    return pipe.run(downscaler_job("gaspard", size=CIF), frames=2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    runs=st.integers(1, 5),
+    depth=st.one_of(st.none(), st.integers(1, 4)),
+    serialize=st.booleans(),
+)
+def test_every_scheduled_node_exported_exactly_once(executor, runs, depth,
+                                                    serialize):
+    schedule = build_schedule(
+        chain_program(), executor, runs=runs, depth=depth, serialize=serialize
+    )
+    doc = chrome_trace(schedule=schedule)
+    assert validate_chrome_trace(doc) == []
+    slices = [
+        ev for ev in doc["traceEvents"]
+        if ev.get("ph") == "X" and ev.get("pid") == DEVICE_PID
+    ]
+    # every node exactly once...
+    assert sorted(ev["args"]["node"] for ev in slices) == sorted(
+        n.id for n in schedule.nodes
+    )
+    by_id = {n.id: n for n in schedule.nodes}
+    for ev in slices:
+        node = by_id[ev["args"]["node"]]
+        # ...on its engine's track, with the modelled geometry
+        assert ev["tid"] == _ENGINE_TIDS[node.engine]
+        assert ev["cat"] == node.engine
+        assert ev["ts"] == node.start_us
+        assert ev["dur"] == pytest.approx(node.duration_us)
+    # busy totals recovered from the document match the schedule
+    busy = engine_busy_from_trace(doc)
+    for engine in schedule.engines:
+        assert busy[engine] == pytest.approx(schedule.engine_busy_us(engine))
+
+
+def test_flow_events_follow_dep_edges(executor):
+    schedule = build_schedule(chain_program(), executor, runs=3, depth=2)
+    doc = chrome_trace(schedule=schedule)
+    starts = [e for e in doc["traceEvents"] if e.get("ph") == "s"]
+    finishes = [e for e in doc["traceEvents"] if e.get("ph") == "f"]
+    n_deps = sum(len(n.deps) for n in schedule.nodes)
+    assert len(starts) == len(finishes) == n_deps
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    assert all(e["bp"] == "e" for e in finishes)
+    # disabling flows drops exactly those events
+    lean = schedule_events(schedule, flows=False)
+    assert not any(e.get("ph") in ("s", "f") for e in lean)
+
+
+def test_tracer_events_nest_and_validate():
+    tracer = Tracer()
+    with tracer.span("outer", category="pipeline"):
+        with tracer.span("inner", category="compile"):
+            pass
+        tracer.event("hit", category="compile")  # zero-duration -> instant
+    events = tracer_events(tracer)
+    doc = {"traceEvents": events}
+    assert validate_chrome_trace(doc) == []
+    phases = [e["ph"] for e in events if e["ph"] in "BEi"]
+    assert phases == ["B", "B", "E", "i", "E"]  # inner nested in outer
+    assert all(
+        e.get("pid") == TRACER_PID for e in events if e["ph"] in "BEi"
+    )
+
+
+def test_validator_rejects_malformed_documents():
+    assert validate_chrome_trace("nope") != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "?"}]}) != []
+    # unbalanced B
+    bad = {"traceEvents": [
+        {"ph": "B", "name": "x", "ts": 0, "pid": 1, "tid": 1},
+    ]}
+    assert any("unclosed" in p for p in validate_chrome_trace(bad))
+    # E closing the wrong span
+    bad = {"traceEvents": [
+        {"ph": "B", "name": "x", "ts": 0, "pid": 1, "tid": 1},
+        {"ph": "E", "name": "y", "ts": 1, "pid": 1, "tid": 1},
+    ]}
+    assert any("does not close" in p for p in validate_chrome_trace(bad))
+    # flow finish with no start
+    bad = {"traceEvents": [
+        {"ph": "f", "name": "d", "ts": 0, "pid": 1, "tid": 1, "id": 7},
+    ]}
+    assert any("no start" in p for p in validate_chrome_trace(bad))
+    # negative timestamp
+    bad = {"traceEvents": [
+        {"ph": "X", "name": "x", "ts": -1, "dur": 1, "pid": 1, "tid": 1},
+    ]}
+    assert any("non-negative" in p for p in validate_chrome_trace(bad))
+    with pytest.raises(ReproError, match="invalid Chrome trace"):
+        assert_valid_chrome_trace(bad)
+
+
+def test_write_chrome_trace_roundtrip(tmp_path, gaspard_report):
+    tracer = Tracer()
+    with tracer.span("run"):
+        pass
+    doc = chrome_trace(
+        schedule=gaspard_report.schedule, tracer=tracer, name="t"
+    )
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, doc)
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(doc))  # loss-free
+    assert loaded["otherData"]["program"] == gaspard_report.program
+    assert validate_chrome_trace(loaded) == []
+
+
+def test_trace_busy_totals_match_pipeline_report(gaspard_report):
+    """Acceptance: the emitted document's per-engine busy totals agree
+    with ``PipelineReport.engine_busy_us`` within float tolerance."""
+    doc = chrome_trace(
+        schedule=gaspard_report.schedule,
+        frame_batch=1,
+    )
+    busy = engine_busy_from_trace(doc)
+    assert set(busy) == set(gaspard_report.engine_busy_us)
+    for engine, want in gaspard_report.engine_busy_us.items():
+        assert busy[engine] == pytest.approx(want, abs=1e-6)
+
+
+def test_frame_batch_colours_channel_groups(executor):
+    schedule = build_schedule(chain_program(), executor, runs=6, depth=2)
+    doc = chrome_trace(schedule=schedule, frame_batch=3)
+    frames = {
+        ev["args"]["run"]: ev["args"]["frame"]
+        for ev in doc["traceEvents"] if ev.get("ph") == "X"
+    }
+    assert frames == {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+    with pytest.raises(ValueError):
+        schedule_events(schedule, frame_batch=0)

@@ -1,0 +1,170 @@
+"""The metrics registry: primitives, export formats, snapshot/diff,
+and the collectors that absorb the runtime's existing counters."""
+
+import json
+
+import pytest
+
+from repro.apps.downscaler import CIF
+from repro.apps.downscaler.serving import downscaler_job
+from repro.gpu import GTX480, MemoryManager
+from repro.obs import (
+    MetricsRegistry,
+    collect_cache,
+    collect_memory,
+    collect_pipeline_report,
+    collect_schedule,
+)
+from repro.runtime import CacheStats, FramePipeline
+
+
+def test_counter_is_monotone():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("bytes_in_use")
+    g.set(100)
+    g.inc(20)
+    g.dec(50)
+    assert g.value == 70
+
+
+def test_histogram_summary_and_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("latency_us", buckets=(10.0, 100.0, 1000.0))
+    for v in (5, 50, 500, 5000):
+        h.observe(v)
+    assert h.count == 4
+    assert h.total == 5555
+    assert (h.min, h.max) == (5, 5000)
+    assert h.mean == pytest.approx(5555 / 4)
+    assert h.bucket_counts == [1, 2, 3]  # cumulative le buckets
+    d = h.as_dict()
+    assert d["count"] == 4
+    assert d["buckets"] == {"le_10": 1, "le_100": 2, "le_1000": 3}
+
+
+def test_registry_is_get_or_create_with_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("hits_total", route="sac")
+    b = reg.counter("hits_total", route="sac")
+    c = reg.counter("hits_total", route="gaspard")
+    assert a is b
+    assert a is not c
+    assert len(reg) == 2
+
+
+def test_registry_rejects_kind_clash():
+    reg = MetricsRegistry()
+    reg.counter("thing")
+    with pytest.raises(ValueError, match="already registered as a counter"):
+        reg.gauge("thing")
+
+
+def test_as_dict_is_json_ready_and_labelled():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", route="sac").inc(3)
+    reg.gauge("fps").set(30.5)
+    doc = json.loads(json.dumps(reg.as_dict()))
+    assert doc['hits_total{route="sac"}'] == 3
+    assert doc["fps"] == 30.5
+
+
+def test_render_text_prometheus_style():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", route="sac").inc(3)
+    reg.counter("hits_total", route="gaspard").inc(1)
+    reg.gauge("fps").set(30.0)
+    h = reg.histogram("lat_us", buckets=(10.0,))
+    h.observe(5)
+    text = reg.render_text()
+    assert "# TYPE hits_total counter\n" in text
+    assert 'hits_total{route="gaspard"} 1\n' in text
+    assert 'hits_total{route="sac"} 3\n' in text
+    assert "# TYPE fps gauge\nfps 30\n" in text
+    assert 'lat_us_bucket{le="10"} 1' in text
+    assert "lat_us_count 1" in text
+    assert "lat_us_sum 5" in text
+    # one TYPE line per metric name, not per series
+    assert text.count("# TYPE hits_total") == 1
+
+
+def test_snapshot_and_since_delta_semantics():
+    reg = MetricsRegistry()
+    reg.counter("hits_total").inc(2)
+    reg.gauge("fps").set(10.0)
+    h = reg.histogram("lat_us")
+    h.observe(5)
+    before = reg.snapshot()
+    reg.counter("hits_total").inc(3)
+    reg.gauge("fps").set(99.0)
+    h.observe(7)
+    delta = reg.since(before)
+    assert delta["hits_total"] == 3  # counters: delta
+    assert delta["fps"] == 99.0  # gauges: current value
+    assert delta["lat_us"] == {"count": 1, "sum": 7}  # histograms: delta
+
+
+def test_collect_cache():
+    reg = MetricsRegistry()
+    collect_cache(reg, CacheStats(hits=3, misses=1), route="sac")
+    doc = reg.as_dict()
+    assert doc['repro_compile_cache_hits_total{route="sac"}'] == 3
+    assert doc['repro_compile_cache_hit_rate{route="sac"}'] == 0.75
+
+
+def test_collect_memory():
+    mm = MemoryManager(GTX480)
+    mm.alloc("a", (16,), "int32")
+    mm.alloc("b", (16,), "int32")
+    mm.free("b")
+    reg = MetricsRegistry()
+    collect_memory(reg, mm)
+    doc = reg.as_dict()
+    assert doc["repro_device_allocs_total"] == 2
+    assert doc["repro_device_frees_total"] == 1
+    assert doc["repro_device_bytes_in_use"] == 64
+    assert doc["repro_device_peak_bytes"] == 128
+
+
+def test_collect_schedule_and_pipeline_report():
+    report = FramePipeline(validate="none").run(
+        downscaler_job("gaspard", size=CIF), frames=2
+    )
+    reg = MetricsRegistry()
+    collect_pipeline_report(reg, report, route=report.job)
+    doc = reg.as_dict()
+    label = f'{{route="{report.job}"}}'
+    assert doc[f"repro_pipeline_frames_total{label}"] == 2
+    assert doc[f"repro_pipeline_frames_per_second{label}"] == pytest.approx(
+        report.frames_per_second
+    )
+    assert doc[f"repro_compile_cache_misses_total{label}"] == 1
+    # the schedule collector rode along: per-engine busy gauges agree
+    for engine in report.schedule.engines:
+        series = f'repro_engine_busy_us{{engine="{engine}",route="{report.job}"}}'
+        assert doc[series] == pytest.approx(report.engine_busy_us[engine])
+    # and the whole document round-trips through JSON and the text format
+    json.dumps(doc)
+    assert "# TYPE repro_engine_busy_us gauge" in reg.render_text()
+
+
+def test_collect_schedule_alone():
+    report = FramePipeline(validate="none").run(
+        downscaler_job("sac", size=CIF), frames=1
+    )
+    reg = MetricsRegistry()
+    collect_schedule(reg, report.schedule)
+    doc = reg.as_dict()
+    assert doc["repro_schedule_nodes"] == len(report.schedule.nodes)
+    assert doc["repro_schedule_makespan_us"] == pytest.approx(
+        report.schedule.makespan_us
+    )

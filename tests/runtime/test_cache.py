@@ -1,10 +1,13 @@
 """CompileCache: keying, hit/miss/invalidation accounting."""
 
+from dataclasses import dataclass
+
+import numpy as np
 import pytest
 
 from repro.apps.downscaler import CIF, HD
 from repro.apps.downscaler.arrayol_model import downscaler_allocation, downscaler_model
-from repro.runtime import CompileCache, gaspard_key, sac_key
+from repro.runtime import CompileCache, canonical, gaspard_key, sac_key
 from repro.sac.backend import CompileOptions
 
 SRC = (
@@ -44,6 +47,45 @@ def test_key_functions_are_content_digests():
     assert gaspard_key(model, alloc) == gaspard_key(downscaler_model(CIF), alloc)
     assert gaspard_key(model, alloc) != gaspard_key(downscaler_model(HD), alloc)
     assert gaspard_key(model, alloc) != gaspard_key(model, alloc, lint=True)
+
+
+@dataclass
+class _ArrayModel:
+    """A model-like dataclass carrying a large coefficient array."""
+
+    name: str
+    weights: np.ndarray
+
+
+def test_keys_see_inside_large_arrays():
+    """Regression: keys were digests of ``repr()``, and ndarray repr
+    elides big arrays with ``...`` — two models differing only mid-array
+    printed identically and collided onto one cache entry.  The canonical
+    serialiser digests the raw bytes, so they key apart."""
+    a = _ArrayModel("m", np.zeros(100_000, dtype=np.int32))
+    b = _ArrayModel("m", np.zeros(100_000, dtype=np.int32))
+    b.weights[50_000] = 7  # invisible to repr: elided by '...'
+    assert repr(a) == repr(b)  # the exact collision the old keys digested
+    assert canonical(a) != canonical(b)
+    assert gaspard_key(a, allocation=None) != gaspard_key(b, allocation=None)
+
+
+def test_canonical_is_content_complete():
+    arr = np.arange(6, dtype=np.float64).reshape(2, 3)
+    # equal content -> equal serialisation, regardless of identity
+    assert canonical(arr) == canonical(arr.copy())
+    # shape and dtype are part of the content
+    assert canonical(arr) != canonical(arr.ravel())
+    assert canonical(arr) != canonical(arr.astype(np.float32))
+    # non-contiguous views serialise by content, not memory layout
+    base = np.arange(12, dtype=np.int32)
+    assert canonical(base[::2]) == canonical(base[::2].copy())
+    # containers recurse; dict ordering is canonicalised
+    assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+    assert canonical((1, "x")) != canonical([1, "x"])
+    # callables key by qualified name, not their address-bearing repr
+    assert canonical(len) == canonical(len)
+    assert "0x" not in canonical(test_canonical_is_content_complete)
 
 
 def test_gaspard_hit_on_repeat():

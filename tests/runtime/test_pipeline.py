@@ -79,6 +79,92 @@ def test_as_dict_is_json_ready():
     assert doc["speedup"] >= 1.0
 
 
+# -- transfer accounting (regression) ------------------------------------------
+
+
+def test_transfer_accounting_over_an_opt_fused_program():
+    """Regression: ``_transfer_serial_us`` duck-typed on ``hasattr(op,
+    "nbytes")``, which silently miscounted once the optimiser started
+    rewriting programs.  Dispatching on op types keeps the accounting
+    exact on fused/pooled programs."""
+    from repro.gpu import CostModel, GTX480_CALIBRATED
+    from repro.ir.program import AllocDevice, DeviceToHost, HostToDevice
+    from repro.opt import OptOptions
+
+    pipe = FramePipeline(validate="none")
+    job = downscaler_job("sac", size=CIF, opt=OptOptions())
+    report = pipe.run(job, frames=2)
+    program = job.compile(pipe.cache)
+
+    cost = CostModel(GTX480_CALIBRATED)
+    sizes = {
+        op.buffer: op.nbytes for op in program.ops
+        if isinstance(op, AllocDevice)
+    }
+    want = sum(
+        cost.h2d_time_us(sizes[op.device]) if isinstance(op, HostToDevice)
+        else cost.d2h_time_us(sizes[op.device])
+        for op in program.ops
+        if isinstance(op, (HostToDevice, DeviceToHost))
+    ) * report.instances
+    assert report.transfer_share_serial * report.serial_us == pytest.approx(
+        want, rel=1e-9
+    )
+
+
+def test_transfer_accounting_ignores_lookalike_ops():
+    """An op that merely *carries* buffer/nbytes attributes (the old
+    duck-typing trigger) must not redefine a buffer's size."""
+    from repro.ir import (
+        AllocDevice,
+        DeviceProgram,
+        DeviceToHost,
+        FreeDevice,
+        HostToDevice,
+    )
+
+    class AnnotatedFree(FreeDevice):
+        """A free annotated with the size it releases."""
+
+        @property
+        def nbytes(self) -> int:
+            return 8  # the wrong size, if anyone trusted it
+
+    program = DeviceProgram(
+        "lookalike",
+        ops=(
+            AllocDevice("d", (64,)),
+            HostToDevice("h_in", "d"),
+            DeviceToHost("d", "h_out"),
+            AnnotatedFree("d"),
+        ),
+        host_inputs=("h_in",),
+        host_outputs=("h_out",),
+    )
+    pipe = FramePipeline()
+    cost = pipe.executor.cost
+    nbytes = AllocDevice("d", (64,)).nbytes
+    want = cost.h2d_time_us(nbytes) + cost.d2h_time_us(nbytes)
+    assert pipe._transfer_serial_us(program, runs=1) == pytest.approx(want)
+
+
+def test_transfer_on_unknown_buffer_is_diagnosed():
+    from repro.ir import AllocDevice, DeviceProgram, DeviceToHost, HostToDevice
+
+    program = DeviceProgram(
+        "phantom",
+        ops=(
+            AllocDevice("d", (8,)),
+            HostToDevice("h_in", "ghost"),
+            DeviceToHost("d", "h_out"),
+        ),
+        host_inputs=("h_in",),
+        host_outputs=("h_out",),
+    )
+    with pytest.raises(ReproError, match="H2D into buffer 'ghost'.*'d'"):
+        FramePipeline()._transfer_serial_us(program, runs=1)
+
+
 @pytest.fixture(scope="module")
 def warm_jobs():
     """Jobs pre-compiled through a shared cache so the property test only

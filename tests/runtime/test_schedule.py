@@ -65,6 +65,63 @@ def test_engine_metrics(sac_programs, executor):
     assert all(v > 0 for v in lat)
 
 
+def _schedule_of(nodes):
+    from repro.runtime.schedule import PipelineSchedule
+
+    return PipelineSchedule(
+        program="hand-built", runs=1, depth=1, serialize=False,
+        serial_us=sum(n.end_us - n.start_us for n in nodes), nodes=tuple(nodes),
+    )
+
+
+def _node(id, engine, start, end):
+    from repro.runtime.schedule import ScheduledNode
+
+    return ScheduledNode(
+        id=id, run=0, op_index=id, name=f"{engine}{id}", engine=engine,
+        start_us=start, end_us=end,
+    )
+
+
+def test_host_barrier_violations_still_detected():
+    """Regression guard for the single-pass host check: a node issued
+    after a host step but starting before it ends, and a host step
+    overlapping an earlier one, are both reported."""
+    bad = _schedule_of([
+        _node(0, "host", 0.0, 10.0),
+        _node(1, "compute", 5.0, 8.0),   # issued after host 0, starts inside it
+        _node(2, "host", 8.0, 12.0),     # starts before host 0 ends
+    ])
+    problems = schedule_violations(bad)
+    assert any(p.startswith("host barrier: node 1") for p in problems)
+    assert any(p.startswith("host: node 2") for p in problems)
+
+    good = _schedule_of([
+        _node(0, "host", 0.0, 10.0),
+        _node(1, "compute", 10.0, 12.0),
+        _node(2, "host", 12.0, 13.0),
+        _node(3, "d2h", 13.0, 14.0),
+    ])
+    assert schedule_violations(good) == []
+
+
+def test_host_barrier_tracks_latest_ending_host_step():
+    """The barrier is the latest-*ending* host step issued so far, not
+    merely the last one issued."""
+    bad = _schedule_of([
+        _node(0, "host", 0.0, 20.0),
+        _node(1, "host", 20.0, 21.0),
+        _node(2, "compute", 20.5, 22.0),  # clears host 0, not host 1
+    ])
+    assert any("node 2" in p for p in schedule_violations(bad))
+    ok = _schedule_of([
+        _node(0, "host", 0.0, 20.0),
+        _node(1, "host", 20.0, 21.0),
+        _node(2, "compute", 21.0, 22.0),
+    ])
+    assert schedule_violations(ok) == []
+
+
 def test_rejects_bad_arguments(sac_programs, executor):
     with pytest.raises(ValueError):
         build_schedule(sac_programs[NONGENERIC], executor, runs=0)

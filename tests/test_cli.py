@@ -259,6 +259,93 @@ def test_lint_assert_clean_rejects_file_mode(tmp_path, capsys):
     assert main(["lint", "--file", str(src), "--assert-clean"]) == 2
 
 
+# -- repro trace / metrics -----------------------------------------------------
+
+
+def test_trace_writes_valid_per_route_files(tmp_path, capsys):
+    import json
+
+    from repro.obs import engine_busy_from_trace, validate_chrome_trace
+
+    out = tmp_path / "trace.json"
+    assert main(
+        ["trace", "--size", "cif", "--frames", "2", "--out", str(out)]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "=== trace sac-nongeneric" in text
+    assert "=== trace gaspard" in text
+    assert "pipeline:gaspard" in text  # the span tree is printed
+    for route in ("sac", "gaspard"):
+        doc = json.loads((tmp_path / f"trace.{route}.json").read_text())
+        assert validate_chrome_trace(doc) == []
+        busy = engine_busy_from_trace(doc)
+        assert busy["compute"] > 0
+
+
+def test_trace_single_route_keeps_filename(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    assert main(
+        ["trace", "--route", "sac", "--size", "cif", "--frames", "1",
+         "--opt", "--out", str(out)]
+    ) == 0
+    assert out.exists()
+    assert "opt-pass:" in capsys.readouterr().out  # optimiser spans traced
+
+
+def test_metrics_text(capsys):
+    assert main(
+        ["metrics", "--size", "cif", "--frames", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_compile_cache_hits_total counter" in out
+    assert 'repro_pipeline_frames_per_second{route="gaspard"}' in out
+    assert 'route="sac-nongeneric"' in out
+
+
+def test_metrics_json(capsys):
+    import json
+
+    assert main(
+        ["metrics", "--route", "gaspard", "--size", "cif", "--frames", "2",
+         "--format", "json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc['repro_pipeline_frames_total{route="gaspard"}'] == 2
+    assert doc['repro_compile_cache_misses_total{route="gaspard"}'] == 1
+
+
+def test_pipeline_trace_flag(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    out = tmp_path / "p.json"
+    assert main(
+        ["pipeline", "--route", "gaspard", "--size", "cif", "--frames", "2",
+         "--trace", str(out)]
+    ) == 0
+    assert f"trace:      wrote {out}" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    # both time domains present: modelled schedule + host span tree
+    pids = {e.get("pid") for e in doc["traceEvents"]}
+    assert pids == {1, 2}
+
+
+def test_pipeline_trace_json_reports_path(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "p.json"
+    assert main(
+        ["pipeline", "--route", "sac", "--size", "cif", "--frames", "2",
+         "--trace", str(out), "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    (route,) = doc["routes"]
+    assert route["trace"] == str(out)
+    assert out.exists()
+
+
 def test_pipeline_opt_compares_baseline_and_optimised(capsys):
     import json
 
