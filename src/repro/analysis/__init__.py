@@ -18,14 +18,31 @@ from repro.analysis.bounds import AccessCheck, check_kernel_bounds
 from repro.analysis.coalesce import check_kernel_coalescing
 from repro.analysis.diagnostics import (
     CODES,
+    EXPLAIN,
     SEVERITIES,
     Diagnostic,
     count_by_severity,
+    dedupe_diagnostics,
     has_errors,
     max_severity,
 )
 from repro.analysis.hazards import HappensBefore, build_happens_before, find_hazards
 from repro.analysis.intervals import TOP, Interval
+from repro.analysis.lifetime import check_lifetimes
+from repro.analysis.regions import (
+    Box,
+    RegionOracle,
+    Seg,
+    box_from_dict,
+    boxes_overlap,
+    find_region_reports,
+    full_box,
+    kernel_access_boxes,
+    launch_access_boxes,
+    must_cover,
+    progression_box,
+    transfer_box,
+)
 from repro.analysis.registry import (
     KINDS,
     AnalysisContext,
@@ -49,8 +66,23 @@ from repro.analysis.transfers import find_transfer_waste
 
 __all__ = [
     "CODES",
+    "EXPLAIN",
     "SEVERITIES",
     "Diagnostic",
+    "dedupe_diagnostics",
+    "Seg",
+    "Box",
+    "box_from_dict",
+    "full_box",
+    "boxes_overlap",
+    "must_cover",
+    "progression_box",
+    "kernel_access_boxes",
+    "launch_access_boxes",
+    "transfer_box",
+    "RegionOracle",
+    "find_region_reports",
+    "check_lifetimes",
     "Interval",
     "TOP",
     "AccessCheck",

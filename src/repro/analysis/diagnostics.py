@@ -19,10 +19,12 @@ from dataclasses import dataclass, field, replace
 __all__ = [
     "SEVERITIES",
     "CODES",
+    "EXPLAIN",
     "Diagnostic",
     "max_severity",
     "has_errors",
     "count_by_severity",
+    "dedupe_diagnostics",
 ]
 
 #: Severity levels, in increasing order of gravity.
@@ -44,6 +46,101 @@ CODES = {
     "SAC003": "WITH-loop generators overlap (single assignment at risk)",
     "TILER001": "output tiler writes array elements more than once",
     "TILER002": "tiler leaves array elements unaddressed (coverage gap)",
+    "MEM001": "device buffer read before any element was written (use-before-init)",
+    "MEM002": "read of a stale host/device copy (counterpart changed since)",
+    "MEM003": "operation touches a device buffer after FreeDevice (use-after-free)",
+    "MEM004": "FreeDevice of an already-freed or never-allocated buffer (double-free)",
+    "MEM005": "device buffer still allocated when the program ends (leak-at-exit)",
+    "REGION001": "access region not statically analysable (whole-buffer fallback)",
+}
+
+#: Long-form documentation per code, printed by ``repro lint --explain``.
+EXPLAIN = {
+    "RACE001": """\
+Two unordered device operations both WRITE the same resource.  Under the
+asynchronous stream model (three FIFO engines, kernels waiting only on the
+last writer of each buffer) no happens-before path connects the pair, so
+the final contents depend on which engine wins.  With region analysis on,
+the pair is only reported when the two write regions may overlap.""",
+    "RACE002": """\
+An unordered READ/WRITE pair on the same resource: one operation reads
+data a concurrent operation may be rewriting (e.g. a kernel still reading
+a buffer while the next frame's async upload overwrites it).  Region
+analysis suppresses the pair when the read and write regions are provably
+disjoint strided boxes.""",
+    "XFER001": """\
+A host-to-device transfer re-uploads data that is already resident: the
+device buffer holds an identical copy of the same host array generation.
+The transfer is a pure PCIe cost — the paper attributes ~50 % of runtime
+to exactly this traffic.  Removed by the transfer-elimination pass.""",
+    "XFER002": """\
+A device-to-host download whose result no host step, upload, or program
+output ever consumes.  Dead PCIe traffic; removed by dead code
+elimination.""",
+    "XFER003": """\
+A device buffer is allocated (and possibly transferred to/from) but never
+bound to any kernel launch: the round trip does no device work at all.""",
+    "BOUNDS001": """\
+A kernel READ subscript can exceed the bounds of the array parameter for
+some point of the launch space (provably, or possibly when the analysis
+can only bound the index range).""",
+    "BOUNDS002": """\
+A kernel STORE subscript can exceed the bounds of the array parameter —
+an out-of-bounds write, undefined behaviour on a real device.""",
+    "BOUNDS003": """\
+A kernel subscript is data-dependent (e.g. indexed by another array's
+value), so static bounds checking is impossible; the kernel needs a
+runtime guard instead.""",
+    "COALESCE001": """\
+Adjacent threads of the innermost launch dimension access memory with a
+non-unit stride, so the warp's loads cannot coalesce into one memory
+transaction.  This is a throughput warning, not a correctness defect.""",
+    "SAC001": "A SaC let-binding is never used by any later expression.",
+    "SAC002": "A SaC let-binding shadows an earlier binding of the same name.",
+    "SAC003": """\
+Two generators of one WITH-loop address overlapping index ranges, so the
+single-assignment property of the WITH-loop is at risk.""",
+    "TILER001": """\
+An output tiler addresses some array element from more than one
+(repetition, pattern) point — concurrent pattern instances would write
+the same element (ArrayOL requires exact coverage on outputs).""",
+    "TILER002": """\
+A tiler leaves array elements unaddressed: the tiling is not a cover, so
+some output elements would never be produced.""",
+    "MEM001": """\
+A device buffer is read (by a kernel or a download) in the
+allocated-but-uninitialised typestate: no upload or kernel write has
+touched it since AllocDevice.  Device allocations contain garbage on real
+hardware (cudaMalloc does not zero).  Reported as an error when nothing
+was ever written, and as a warning when a full download cannot be proven
+covered by the writes so far (region ``must_cover`` check).""",
+    "MEM002": """\
+A stale-copy read.  Either (a) a host step consumes a host array whose
+content came from a download, but the source device buffer has been
+rewritten since — the host sees an outdated snapshot; or (b) a kernel or
+download reads a device buffer whose content came from an upload, but
+the source host array has been rewritten since — the device copy no
+longer reflects the host data.  Insert a re-download/re-upload, or drop
+the stale consumer.""",
+    "MEM003": """\
+An operation (transfer, launch binding, …) touches a device buffer after
+its FreeDevice: use-after-free.  ``validate_program`` rejects such
+programs outright; the lifetime pass reports the same defect as a
+diagnostic so unvalidated programs can be linted.""",
+    "MEM004": """\
+FreeDevice on a buffer that is already freed (double-free) or was never
+allocated.  On real drivers this corrupts the allocator state.""",
+    "MEM005": """\
+A device buffer is still allocated when the program ends.  For a single
+run this is a leak; under the frame pipeline it compounds per frame.
+Note pooled programs intentionally retain slots — the pass only flags
+buffers with no FreeDevice at all.""",
+    "REGION001": """\
+The access-region analysis could not express a kernel's subscript as a
+strided affine box (data-dependent index, non-affine arithmetic), so it
+assumed the whole buffer.  The program is still analysed soundly, but
+the optimiser and scheduler lose region-level independence for this
+access — the precision the paper's abstractions are meant to keep.""",
 }
 
 
@@ -139,3 +236,22 @@ def count_by_severity(diags) -> dict[str, int]:
     for d in diags:
         counts[d.severity] += 1
     return counts
+
+
+def dedupe_diagnostics(diags) -> list[Diagnostic]:
+    """Drop findings identical in everything the user sees.
+
+    Two passes can legitimately derive the same defect (e.g. the hazard
+    and lifetime passes both walking op pairs); ``analyzer`` is excluded
+    from dataclass comparison, so such findings compare equal yet used to
+    render twice.  The first occurrence (and its analyzer tag) wins.
+    """
+    seen: set[tuple] = set()
+    out: list[Diagnostic] = []
+    for d in diags:
+        key = (d.code, d.severity, d.message, d.location)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(d)
+    return out

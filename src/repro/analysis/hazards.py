@@ -15,6 +15,14 @@ Any two operations that access the same device buffer or host array, where
 at least one access is a write and **no happens-before path** connects them,
 are flagged as RACE001 (write/write) or RACE002 (read/write).  These are
 exactly the interleavings the paper's ``memcpyHtoDasync`` calls make legal.
+
+With ``regions=True`` (the default) an unordered pair is additionally
+checked against the access-region oracle of
+:mod:`repro.analysis.regions`: when the two accesses touch provably
+disjoint strided boxes of the resource (a kernel writing one tile while a
+partial transfer moves another), the pair cannot race and is not
+reported.  Region filtering only ever *removes* findings — the
+whole-buffer result is a sound superset.
 """
 
 from __future__ import annotations
@@ -172,13 +180,19 @@ def _describe(i: int, op: Op) -> str:
     return f"ops[{i}] {type(op).__name__}"
 
 
-def find_hazards(program: DeviceProgram) -> list[Diagnostic]:
-    """All unordered conflicting access pairs of ``program``."""
+def find_hazards(program: DeviceProgram, regions: bool = True) -> list[Diagnostic]:
+    """All unordered conflicting access pairs of ``program``.
+
+    ``regions=False`` disables the region-disjointness filter and reports
+    every unordered whole-buffer conflict (the PR1 behaviour); the filtered
+    result is always a subset of it.
+    """
     hb = build_happens_before(program)
     by_resource: dict[tuple[str, str], list[_Access]] = {}
     for acc in hb.accesses:
         by_resource.setdefault(acc.resource, []).append(acc)
 
+    oracle = None
     out: list[Diagnostic] = []
     seen: set[tuple[int, int, tuple[str, str]]] = set()
     for resource, accs in by_resource.items():
@@ -194,6 +208,18 @@ def find_hazards(program: DeviceProgram) -> list[Diagnostic]:
                     continue
                 if hb.ordered(x.node, y.node):
                     continue
+                if regions:
+                    if oracle is None:
+                        from repro.analysis.regions import RegionOracle
+
+                        oracle = RegionOracle(program)
+                    # a disjoint pair is no race, but a later overlapping
+                    # access-mode combination of the same op pair still is —
+                    # so do not mark the pair as seen here
+                    if not oracle.pair_conflicts(
+                        x.node, x.write, y.node, y.write, resource
+                    ):
+                        continue
                 seen.add(key)
                 kind, name = resource
                 both_write = x.write and y.write

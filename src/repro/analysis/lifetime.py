@@ -1,0 +1,230 @@
+"""Buffer-lifetime verification: an abstract interpreter over DeviceProgram.
+
+Walks the op sequence once, tracking a typestate per device buffer —
+
+    unallocated → allocated-uninit → device-valid → (host-/device-stale) → freed
+
+— plus the host↔device copy relationships the transfers establish, and
+emits the MEM diagnostics:
+
+* **MEM001** *(error/warning)* — use-before-init: a kernel or download
+  reads a buffer no upload or kernel write has touched since its
+  allocation (error), or a full download whose element coverage the
+  region oracle's ``must_cover`` cannot prove from the writes so far
+  (warning).
+* **MEM002** *(warning)* — read-of-stale-copy: a host step consumes a
+  downloaded array whose source buffer was rewritten since, or a device
+  read consumes an uploaded buffer whose source host array was rewritten
+  since.
+* **MEM003** *(error)* — use-after-free.
+* **MEM004** *(error)* — double-free (or free of a never-allocated buffer).
+* **MEM005** *(warning)* — leak-at-exit: allocated, never freed.
+
+The interpreter is region-aware: "does this launch actually read?" comes
+from the access boxes of the kernel body (a declared ``inout`` parameter
+that is only stored to does not count as a read), and download coverage
+uses the exact write boxes accumulated since the allocation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.hazards import _describe
+from repro.analysis.regions import Box, RegionOracle, must_cover, transfer_box
+from repro.ir.program import (
+    AllocDevice,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostCompute,
+    HostToDevice,
+    LaunchKernel,
+)
+
+__all__ = ["check_lifetimes"]
+
+_DEV = "device buffer"
+
+
+def check_lifetimes(
+    program: DeviceProgram, oracle: RegionOracle | None = None
+) -> list[Diagnostic]:
+    """All MEM findings of ``program`` (see module docstring)."""
+    oracle = oracle or RegionOracle(program)
+    where = f"program {program.name!r}"
+    out: list[Diagnostic] = []
+
+    def report(code: str, severity: str, message: str, hint: str) -> None:
+        out.append(
+            Diagnostic(
+                code=code, severity=severity, message=message, location=where, hint=hint
+            )
+        )
+
+    allocs: dict[str, AllocDevice] = {}
+    freed: dict[str, int] = {}
+    #: exact-able write boxes accumulated since allocation (empty = uninit)
+    written: dict[str, list[Box]] = {}
+    #: device write generation per buffer (bumped by uploads/kernel writes)
+    dev_gen: dict[str, int] = {}
+    #: host write generation per array (bumped by host steps and downloads)
+    host_gen: dict[str, int] = {}
+    #: device copy provenance: buffer -> (host source, host gen at upload)
+    uploaded_from: dict[str, tuple[str, int]] = {}
+    #: host copy provenance: array -> (device source, dev gen at download)
+    downloaded_from: dict[str, tuple[str, int]] = {}
+
+    def check_freed(i: int, buf: str) -> bool:
+        at = freed.get(buf)
+        if at is None:
+            return False
+        report(
+            "MEM003",
+            "error",
+            f"{_describe(i, program.ops[i])} touches device buffer {buf!r} "
+            f"freed at ops[{at}]",
+            "move the FreeDevice after the last use of the buffer",
+        )
+        return True
+
+    def check_uninit_read(i: int, buf: str, what: str) -> None:
+        if buf in allocs and not written.get(buf):
+            report(
+                "MEM001",
+                "error",
+                f"{_describe(i, program.ops[i])} {what} device buffer {buf!r} "
+                f"before any element was written",
+                "upload or launch a writer before the first read",
+            )
+
+    def check_device_stale(i: int, buf: str) -> None:
+        src = uploaded_from.get(buf)
+        if src is not None and host_gen.get(src[0], 0) > src[1]:
+            report(
+                "MEM002",
+                "warning",
+                f"{_describe(i, program.ops[i])} reads device buffer {buf!r}, "
+                f"a copy of host array {src[0]!r} that was rewritten after "
+                f"the upload",
+                "re-upload the host array (or drop the stale device read)",
+            )
+
+    def record_device_write(buf: str, box: Box | None) -> None:
+        dev_gen[buf] = dev_gen.get(buf, 0) + 1
+        uploaded_from.pop(buf, None)
+        if box is not None and buf in allocs:
+            written.setdefault(buf, []).append(box)
+
+    for i, op in enumerate(program.ops):
+        if isinstance(op, AllocDevice):
+            allocs[op.buffer] = op
+            freed.pop(op.buffer, None)
+            written[op.buffer] = []
+            uploaded_from.pop(op.buffer, None)
+            continue
+
+        if isinstance(op, FreeDevice):
+            if op.buffer in freed or op.buffer not in allocs:
+                flavour = (
+                    "already freed" if op.buffer in freed else "never allocated"
+                )
+                report(
+                    "MEM004",
+                    "error",
+                    f"{_describe(i, op)} frees device buffer {op.buffer!r}, "
+                    f"which is {flavour}",
+                    "drop the duplicate FreeDevice",
+                )
+            if op.buffer in allocs:
+                freed.setdefault(op.buffer, i)
+            continue
+
+        if isinstance(op, HostToDevice):
+            if check_freed(i, op.device):
+                continue
+            box = transfer_box(op.region, oracle.shapes.get(op.device))
+            if op.region is not None and box is None:
+                continue  # zero-size upload: moves nothing
+            record_device_write(op.device, box)
+            gen = host_gen.setdefault(op.host, 0)
+            shape = oracle.shapes.get(op.device)
+            if op.region is None or (
+                shape is not None and must_cover((box,), shape)
+            ):
+                uploaded_from[op.device] = (op.host, gen)
+            continue
+
+        if isinstance(op, DeviceToHost):
+            if check_freed(i, op.device):
+                continue
+            if (
+                op.region is not None
+                and transfer_box(op.region, oracle.shapes.get(op.device)) is None
+            ):
+                continue  # zero-size download: moves nothing
+            check_uninit_read(i, op.device, "downloads")
+            check_device_stale(i, op.device)
+            if (
+                op.region is None
+                and op.device in allocs
+                and written.get(op.device)
+                and not must_cover(written[op.device], allocs[op.device].shape)
+            ):
+                report(
+                    "MEM001",
+                    "warning",
+                    f"{_describe(i, op)} downloads the whole of device buffer "
+                    f"{op.device!r}, but the writes so far do not provably "
+                    f"cover every element",
+                    "write the full buffer before downloading it, or "
+                    "download only the written region",
+                )
+            host_gen[op.host] = host_gen.get(op.host, 0) + 1
+            downloaded_from[op.host] = (op.device, dev_gen.get(op.device, 0))
+            continue
+
+        if isinstance(op, LaunchKernel):
+            reads, writes = oracle.accesses(i)
+            touched = {buf for _, buf in op.array_args}
+            for buf in sorted(touched):
+                if check_freed(i, buf):
+                    continue
+                if reads.get((_DEV, buf)):
+                    check_uninit_read(i, buf, "reads")
+                    check_device_stale(i, buf)
+            for (kind, buf), boxes in sorted(writes.items()):
+                if buf in freed:
+                    continue
+                for box in boxes:
+                    record_device_write(buf, box)
+            continue
+
+        if isinstance(op, HostCompute):
+            for name in op.reads:
+                src = downloaded_from.get(name)
+                if src is not None and dev_gen.get(src[0], 0) > src[1]:
+                    report(
+                        "MEM002",
+                        "warning",
+                        f"{_describe(i, op)} reads host array {name!r}, a "
+                        f"copy of device buffer {src[0]!r} that was "
+                        f"rewritten after the download",
+                        "re-download the buffer (or drop the stale host read)",
+                    )
+            for name in op.writes:
+                host_gen[name] = host_gen.get(name, 0) + 1
+                downloaded_from.pop(name, None)
+                # device copies sourced from this array are now stale;
+                # the provenance entry keeps the old generation, so the
+                # next device read of such a buffer reports MEM002
+            continue
+
+    for buf in sorted(set(allocs) - set(freed)):
+        report(
+            "MEM005",
+            "warning",
+            f"device buffer {buf!r} is still allocated when the program ends",
+            "free the buffer after its last use "
+            "(the sink-frees optimisation pass does this)",
+        )
+    return out

@@ -19,7 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.analysis import bounds, coalesce, hazards, saclint, tilerlint, transfers
+from repro.analysis import (
+    bounds,
+    coalesce,
+    hazards,
+    lifetime,
+    regions,
+    saclint,
+    tilerlint,
+    transfers,
+)
 from repro.analysis.diagnostics import Diagnostic
 from repro.errors import ReproError
 from repro.gpu.calibration import GTX480_CALIBRATED
@@ -188,6 +197,14 @@ def _run_tilers(model, ctx: AnalysisContext):
     return tilerlint.lint_model(model)
 
 
+def _run_regions(program: DeviceProgram, ctx: AnalysisContext):
+    return regions.find_region_reports(program)
+
+
+def _run_lifetime(program: DeviceProgram, ctx: AnalysisContext):
+    return lifetime.check_lifetimes(program)
+
+
 _BUILTINS = (
     AnalyzerPass(
         name="hazards",
@@ -216,6 +233,20 @@ _BUILTINS = (
         description="non-unit adjacent-thread stride detection",
         codes=("COALESCE001",),
         run=_run_coalescing,
+    ),
+    AnalyzerPass(
+        name="regions",
+        kind="program",
+        description="symbolic access regions; flags imprecise fallbacks",
+        codes=("REGION001",),
+        run=_run_regions,
+    ),
+    AnalyzerPass(
+        name="lifetime",
+        kind="program",
+        description="buffer typestate verification (init/stale/free/leak)",
+        codes=("MEM001", "MEM002", "MEM003", "MEM004", "MEM005"),
+        run=_run_lifetime,
     ),
     AnalyzerPass(
         name="sac-bindings",

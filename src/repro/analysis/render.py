@@ -4,14 +4,25 @@ from __future__ import annotations
 
 import json
 
-from repro.analysis.diagnostics import Diagnostic, count_by_severity
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    count_by_severity,
+    dedupe_diagnostics,
+)
 
 __all__ = ["render_text", "render_json", "sort_diagnostics"]
 
 
 def sort_diagnostics(diags) -> list[Diagnostic]:
-    """Worst first; within a severity, stable by code then location."""
-    return sorted(diags, key=lambda d: (-d.rank, d.code, d.location, d.message))
+    """Worst first; within a severity, stable by code then location.
+
+    Identical findings from different passes are collapsed first, so a
+    defect two analyzers agree on renders once.
+    """
+    return sorted(
+        dedupe_diagnostics(diags),
+        key=lambda d: (-d.rank, d.code, d.location, d.message),
+    )
 
 
 def render_text(diags, title: str | None = None) -> str:
@@ -22,6 +33,7 @@ def render_text(diags, title: str | None = None) -> str:
         <location>: <severity> <CODE>: <message> [~12.3 us wasted]
             hint: <fix hint>
     """
+    diags = dedupe_diagnostics(diags)
     lines: list[str] = []
     if title:
         lines.append(title)
@@ -41,6 +53,7 @@ def render_text(diags, title: str | None = None) -> str:
 
 def render_json(diags, title: str | None = None) -> str:
     """A JSON document: summary counts plus the sorted findings."""
+    diags = dedupe_diagnostics(diags)
     counts = count_by_severity(diags)
     doc = {
         "title": title or "",

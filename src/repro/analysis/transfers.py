@@ -16,6 +16,8 @@ report reads in the same microseconds as the paper's tables:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.analysis.diagnostics import Diagnostic
 from repro.gpu.calibration import GTX480_CALIBRATED
 from repro.gpu.cost import CostModel
@@ -27,6 +29,7 @@ from repro.ir.program import (
     HostCompute,
     HostToDevice,
     LaunchKernel,
+    region_count,
 )
 
 __all__ = ["find_transfer_waste"]
@@ -79,7 +82,16 @@ def find_transfer_waste(
                 pending_d2h.pop(op.host)
             gen = host_gen.setdefault(op.host, 0)
             if resident.get(op.device) == (op.host, gen):
-                nbytes = allocs[op.device].nbytes if op.device in allocs else 0
+                if op.device in allocs:
+                    alloc = allocs[op.device]
+                    if op.region is None:
+                        nbytes = alloc.nbytes
+                    else:
+                        nbytes = region_count(op.region) * np.dtype(
+                            alloc.dtype
+                        ).itemsize
+                else:
+                    nbytes = 0
                 out.append(
                     Diagnostic(
                         code="XFER001",
@@ -95,15 +107,25 @@ def find_transfer_waste(
                         fixable_by="transfer-elimination",
                     )
                 )
-            resident[op.device] = (op.host, gen)
+            if op.region is None:
+                resident[op.device] = (op.host, gen)
+            else:
+                # a partial upload moves only a sub-box: afterwards host
+                # and device are not known to agree everywhere
+                resident.pop(op.device, None)
         elif isinstance(op, DeviceToHost):
-            if op.host in pending_d2h:
+            if op.host in pending_d2h and op.region is None:
+                # only a whole-array download overwrites the pending one;
+                # a partial download keeps the untouched elements
                 dead_download(op.host, pending_d2h[op.host])
             pending_d2h[op.host] = i
             host_gen[op.host] = host_gen.get(op.host, 0) + 1
-            # after the download, host and device hold identical data — a
-            # subsequent re-upload of the pair is a pure PCIe round trip
-            resident[op.device] = (op.host, host_gen[op.host])
+            if op.region is None:
+                # after the download, host and device hold identical data —
+                # a subsequent re-upload of the pair is a pure PCIe round trip
+                resident[op.device] = (op.host, host_gen[op.host])
+            else:
+                resident.pop(op.device, None)
         elif isinstance(op, LaunchKernel):
             for param, buf in op.array_args:
                 launched.add(buf)

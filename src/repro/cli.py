@@ -17,13 +17,15 @@ Subcommands::
                 [--opt] [--out FILE]
     repro metrics [--route sac|gaspard|both] [--size hd|cif] [--frames N]
                   [--format text|json]
-    repro lint [--route sac|gaspard|all] [--size hd|cif]
-               [--format text|json] [--baseline FILE] [--assert-clean]
+    repro lint [--route sac|gaspard|all] [--app downscaler|convolution]
+               [--size hd|cif] [--format text|json] [--baseline FILE]
+               [--assert-clean] [--explain CODE]
                [--file SAC_FILE --entry F]
     repro opt [--route sac|gaspard|both] [--size hd|cif]
               [--variant nongeneric|generic]
               [--transfers boundary|per_kernel]
-              [--no-dce] [--no-transfer-elim] [--no-fusion] [--no-pooling]
+              [--no-dce] [--no-transfer-elim] [--no-fusion]
+              [--no-sibling-fusion] [--no-pooling]
               [--no-certify] [--json]
 
 Exit codes (all subcommands):
@@ -518,6 +520,7 @@ def _cmd_opt(args) -> int:
         dce=not args.no_dce,
         transfers=not args.no_transfer_elim,
         fusion=not args.no_fusion,
+        sibling_fusion=not args.no_sibling_fusion,
         pooling=not args.no_pooling,
         certify=not args.no_certify,
     )
@@ -582,6 +585,24 @@ def _route_program(route: str, size, variant: str, transfers: str):
     return "gaspard", ctx.program
 
 
+def _explain_code(code: str) -> int:
+    """Print the documentation block of one diagnostic code."""
+    from repro.analysis import CODES, EXPLAIN, registered_passes
+
+    if code not in CODES:
+        known = ", ".join(sorted(CODES))
+        print(f"error: unknown diagnostic code {code!r}", file=sys.stderr)
+        print(f"known codes: {known}", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"{code}: {CODES[code]}")
+    emitters = [p.name for p in registered_passes() if code in p.codes]
+    if emitters:
+        print(f"emitted by pass: {', '.join(emitters)}")
+    print()
+    print(EXPLAIN[code].rstrip())
+    return EXIT_OK
+
+
 def _cmd_lint(args) -> int:
     """Run every registered analyzer; exit 1 on error-severity findings."""
     from repro.analysis import (
@@ -591,6 +612,9 @@ def _cmd_lint(args) -> int:
         render_json,
         render_text,
     )
+
+    if args.explain is not None:
+        return _explain_code(args.explain.upper())
 
     opt = None
     if args.assert_clean:
@@ -612,9 +636,9 @@ def _cmd_lint(args) -> int:
     else:
         size = _size(args.size)
         if args.route in ("sac", "all"):
-            diags += _lint_sac_route(size, titles, opt=opt)
+            diags += _lint_sac_route(size, titles, opt=opt, app=args.app)
         if args.route in ("gaspard", "all"):
-            diags += _lint_gaspard_route(size, titles, opt=opt)
+            diags += _lint_gaspard_route(size, titles, opt=opt, app=args.app)
 
     baseline = load_baseline(args.baseline) if args.baseline else None
     kept, suppressed = apply_baseline(diags, baseline)
@@ -662,36 +686,63 @@ def _lint_sac_file(path: str, entry: str | None, titles: list) -> list:
     return diags
 
 
-def _lint_sac_route(size, titles: list, opt=None) -> list:
-    from repro.apps.downscaler.sac_sources import NONGENERIC, downscaler_program_source
+def _lint_sac_route(size, titles: list, opt=None, app: str = "downscaler") -> list:
     from repro.sac.backend import CompileOptions, compile_function
     from repro.sac.parser import parse
 
-    prog = parse(downscaler_program_source(size, NONGENERIC))
+    if app == "convolution":
+        from repro.apps.convolution.config import gaussian3
+        from repro.apps.convolution.sac_source import convolution_program_source
+
+        prog = parse(convolution_program_source(gaussian3(size.rows, size.cols)))
+        entry, label = "blur", "SaC convolution"
+    else:
+        from repro.apps.downscaler.sac_sources import (
+            NONGENERIC,
+            downscaler_program_source,
+        )
+
+        prog = parse(downscaler_program_source(size, NONGENERIC))
+        entry, label = "downscale", "SaC non-generic"
     cf = compile_function(
-        prog, "downscale", CompileOptions(target="cuda", lint=True, opt=opt)
+        prog, entry, CompileOptions(target="cuda", lint=True, opt=opt)
     )
     suffix = " +opt" if opt is not None else ""
     titles.append(
-        f"SaC non-generic {size.name} ({cf.kernel_count} kernels){suffix}"
+        f"{label} {size.name} ({cf.kernel_count} kernels){suffix}"
     )
     return list(cf.diagnostics)
 
 
-def _lint_gaspard_route(size, titles: list, opt=None) -> list:
-    from repro.apps.downscaler.arrayol_model import (
-        downscaler_allocation,
-        downscaler_model,
-    )
+def _lint_gaspard_route(size, titles: list, opt=None, app: str = "downscaler") -> list:
     from repro.arrayol.transform import GaspardContext, standard_chain
 
-    ctx = GaspardContext(
-        model=downscaler_model(size), allocation=downscaler_allocation()
-    )
+    if app == "convolution":
+        from repro.apps.convolution.arrayol_model import (
+            convolution_allocation,
+            convolution_model,
+        )
+        from repro.apps.convolution.config import gaussian3
+
+        ctx = GaspardContext(
+            model=convolution_model(gaussian3(size.rows, size.cols)),
+            allocation=convolution_allocation(),
+        )
+        label = "Gaspard2 convolution"
+    else:
+        from repro.apps.downscaler.arrayol_model import (
+            downscaler_allocation,
+            downscaler_model,
+        )
+
+        ctx = GaspardContext(
+            model=downscaler_model(size), allocation=downscaler_allocation()
+        )
+        label = "Gaspard2"
     ctx = standard_chain(lint=True, opt=opt).run(ctx)
     suffix = " +opt" if opt is not None else ""
     titles.append(
-        f"Gaspard2 {size.name} ({ctx.program.launch_count} launches){suffix}"
+        f"{label} {size.name} ({ctx.program.launch_count} launches){suffix}"
     )
     return list(ctx.diagnostics)
 
@@ -852,6 +903,10 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     p.add_argument("--route", choices=("sac", "gaspard", "all"), default="all")
+    p.add_argument(
+        "--app", choices=("downscaler", "convolution"), default="downscaler",
+        help="application to compile and lint",
+    )
     p.add_argument("--size", choices=("hd", "cif"), default="hd")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--baseline", help="suppression file (CODE [@ location])")
@@ -863,6 +918,10 @@ def main(argv: list[str] | None = None) -> int:
             "optimise the routes with repro.opt first and exit 1 if any "
             "TRANSFER diagnostic survives"
         ),
+    )
+    p.add_argument(
+        "--explain", metavar="CODE",
+        help="print the documentation block for one diagnostic code and exit",
     )
     p.set_defaults(fn=_cmd_lint)
 
@@ -896,6 +955,10 @@ def main(argv: list[str] | None = None) -> int:
         help="disable redundant-transfer elimination",
     )
     p.add_argument("--no-fusion", action="store_true", help="disable kernel fusion")
+    p.add_argument(
+        "--no-sibling-fusion", action="store_true",
+        help="disable region-oracle fusion of independent sibling launches",
+    )
     p.add_argument("--no-pooling", action="store_true", help="disable memory pooling")
     p.add_argument(
         "--no-certify", action="store_true",

@@ -38,10 +38,19 @@ from repro.ir.program import (
     HostCompute,
     HostToDevice,
     LaunchKernel,
+    region_count,
+    region_slices,
 )
 from repro.obs.span import current_tracer
 
 __all__ = ["RunResult", "GPUExecutor"]
+
+
+def _transfer_nbytes(op, buf) -> int:
+    """Bytes a transfer moves: the region's elements if partial, else all."""
+    if op.region is None:
+        return buf.nbytes
+    return region_count(op.region) * buf.data.dtype.itemsize
 
 
 @dataclass(frozen=True)
@@ -181,19 +190,36 @@ class GPUExecutor:
                             f"H2D {op.host}->{op.device}: host shape {src.shape} "
                             f"!= device shape {buf.shape}"
                         )
-                    buf.data[...] = src
-                dur = self.cost.h2d_time_us(buf.nbytes)
+                    if op.region is None:
+                        buf.data[...] = src
+                    else:
+                        sl = region_slices(op.region)
+                        buf.data[sl] = src[sl]
+                nbytes = _transfer_nbytes(op, buf)
+                dur = self.cost.h2d_time_us(nbytes)
                 h2d_us += dur
                 name = "memcpyHtoDasync" if op.is_async else "memcpyHtoD"
-                self.profiler.record(name, "h2d", dur, buf.nbytes)
+                self.profiler.record(name, "h2d", dur, nbytes)
             elif isinstance(op, DeviceToHost):
                 buf = self.memory.get(op.device)
                 if functional:
-                    env[op.host] = buf.data.copy()
-                dur = self.cost.d2h_time_us(buf.nbytes)
+                    if op.region is None:
+                        env[op.host] = buf.data.copy()
+                    else:
+                        # untouched host elements keep their prior values
+                        prior = env.get(op.host)
+                        if prior is not None and prior.shape == buf.shape:
+                            out = np.array(prior, dtype=buf.data.dtype)
+                        else:
+                            out = np.zeros_like(buf.data)
+                        sl = region_slices(op.region)
+                        out[sl] = buf.data[sl]
+                        env[op.host] = out
+                nbytes = _transfer_nbytes(op, buf)
+                dur = self.cost.d2h_time_us(nbytes)
                 d2h_us += dur
                 name = "memcpyDtoHasync" if op.is_async else "memcpyDtoH"
-                self.profiler.record(name, "d2h", dur, buf.nbytes)
+                self.profiler.record(name, "d2h", dur, nbytes)
             elif isinstance(op, LaunchKernel):
                 arrays = {}
                 for param_name, buffer in op.array_args:

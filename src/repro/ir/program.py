@@ -30,7 +30,46 @@ __all__ = [
     "HostWork",
     "HostCompute",
     "DeviceProgram",
+    "region_count",
+    "region_slices",
 ]
+
+
+def _check_region(region, what: str):
+    """Normalise a transfer region to ``((start, stop, step), ...)``.
+
+    A region is a per-dimension slice triple selecting the elements the
+    transfer actually moves; ``None`` means the whole buffer.  Bounds
+    against the buffer shape are checked by ``validate_program`` (the op
+    itself does not know the geometry).
+    """
+    if region is None:
+        return None
+    out = []
+    for dim in region:
+        start, stop, step = (int(x) for x in dim)
+        if step < 1:
+            raise IRError(f"{what}: region step must be >= 1, got {step}")
+        if start < 0 or stop <= start:
+            raise IRError(
+                f"{what}: region dim must satisfy 0 <= start < stop, "
+                f"got ({start}, {stop}, {step})"
+            )
+        out.append((start, stop, step))
+    return tuple(out)
+
+
+def region_slices(region) -> tuple[slice, ...]:
+    """The numpy basic-slice view a transfer region selects."""
+    return tuple(slice(start, stop, step) for start, stop, step in region)
+
+
+def region_count(region) -> int:
+    """Number of elements a transfer region moves."""
+    n = 1
+    for start, stop, step in region:
+        n *= (stop - start + step - 1) // step
+    return n
 
 
 class Op:
@@ -67,21 +106,43 @@ class FreeDevice(Op):
 @dataclass(frozen=True)
 class HostToDevice(Op):
     """Copy a host array into a device buffer (``memcpyHtoDasync`` when
-    ``is_async``)."""
+    ``is_async``).
+
+    ``region`` restricts the copy to a strided sub-box of the buffer, one
+    ``(start, stop, step)`` slice triple per dimension (``None`` = whole
+    buffer) — the static model of ``cudaMemcpy2D``-style tile uploads.
+    """
 
     host: str
     device: str
     is_async: bool = True
+    region: tuple[tuple[int, int, int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "region", _check_region(self.region, f"H2D into {self.device!r}")
+        )
 
 
 @dataclass(frozen=True)
 class DeviceToHost(Op):
     """Copy a device buffer into a host array (``memcpyDtoHasync`` when
-    ``is_async``)."""
+    ``is_async``).
+
+    ``region`` restricts the copy to a strided sub-box (see
+    :class:`HostToDevice`); the untouched host elements keep their prior
+    values.
+    """
 
     device: str
     host: str
     is_async: bool = True
+    region: tuple[tuple[int, int, int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "region", _check_region(self.region, f"D2H from {self.device!r}")
+        )
 
 
 @dataclass(frozen=True)

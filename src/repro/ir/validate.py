@@ -130,6 +130,21 @@ def validate_program(program: DeviceProgram) -> None:
             raise IRError(f"{what}: device buffer {buffer!r} used after free")
         raise IRError(f"{what}: device buffer {buffer!r} is not allocated")
 
+    def check_region(region, alloc: AllocDevice, what: str) -> None:
+        if region is None:
+            return
+        if len(region) != len(alloc.shape):
+            raise IRError(
+                f"{what}: region has rank {len(region)}, buffer "
+                f"{alloc.buffer!r} has rank {len(alloc.shape)}"
+            )
+        for d, ((start, stop, _step), n) in enumerate(zip(region, alloc.shape)):
+            if stop > n:
+                raise IRError(
+                    f"{what}: region dim {d} reaches {stop}, buffer "
+                    f"{alloc.buffer!r} extends only to {n}"
+                )
+
     for op in program.ops:
         if isinstance(op, AllocDevice):
             if op.buffer in live:
@@ -150,9 +165,11 @@ def validate_program(program: DeviceProgram) -> None:
                     f"(not an input and not produced earlier)"
                 )
             check_host_geometry(op.host, alloc, what)
+            check_region(op.region, alloc, what)
         elif isinstance(op, DeviceToHost):
             what = f"D2H {op.device}->{op.host}"
             alloc = require_live(op.device, what)
+            check_region(op.region, alloc, what)
             # the download (re)defines the host array with the buffer's
             # geometry, so earlier records are replaced, not compared
             host_geometry[op.host] = (tuple(alloc.shape), np.dtype(alloc.dtype))

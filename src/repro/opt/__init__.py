@@ -11,7 +11,8 @@ rewrites the common IR:
   elimination (the rewriting twin of the XFER lints), liveness-driven
   free sinking + pooled allocation;
 * :mod:`repro.opt.fusion` — cross-kernel fusion over single-use
-  untransferred intermediates (IR-level WLF);
+  untransferred intermediates (IR-level WLF), plus fusion of adjacent
+  launches whose writes the region oracle proves disjoint;
 * :mod:`repro.opt.pipeline` — the pass driver plus the certification
   gate: every optimised program re-validates and must not regress the
   PR-1 hazard/transfer/bounds analyses;
@@ -23,7 +24,7 @@ Wired through ``CompileOptions(opt=...)`` on the SaC route,
 keys of both.
 """
 
-from repro.opt.fusion import fuse_program
+from repro.opt.fusion import fuse_independent_siblings, fuse_program
 from repro.opt.options import OptOptions
 from repro.opt.passes import (
     dead_code_elimination,
@@ -40,6 +41,7 @@ __all__ = [
     "optimize_program",
     "certify_program",
     "fuse_program",
+    "fuse_independent_siblings",
     "dead_code_elimination",
     "eliminate_redundant_transfers",
     "sink_frees_to_last_use",

@@ -14,6 +14,15 @@ each other (on the calibrated cost model inline substitution multiplies
 the per-item read counts of issue-bound kernels and loses time); the
 stages execute back to back inside one launch, saving the per-launch
 overhead — the dominant kernel-side cost of the paper's small filters.
+
+A second pass, :func:`fuse_independent_siblings`, uses the access-region
+oracle of :mod:`repro.analysis.regions` for launches the intermediate
+pass cannot touch: two adjacent launches that write provably *disjoint*
+regions of the same buffer (the generic downscaler's main-box/remainder
+launch pairs) share no data at all, so they collapse into one launch and
+pay one launch overhead.  Whole-buffer reasoning can never prove this —
+both launches "write the buffer" — which is exactly why the oracle is
+the legality gate here.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from repro.ir.program import (
 )
 from repro.opt.passes import _rebuild, launch_reads, launch_writes
 
-__all__ = ["fuse_program"]
+__all__ = ["fuse_program", "fuse_independent_siblings"]
 
 
 def _spaces_compatible(stages: list[LaunchKernel]) -> bool:
@@ -50,6 +59,17 @@ def _inputs_available_at_entry(stages: list[LaunchKernel], internal: set[str]) -
             return False
         produced |= launch_writes(st)
     return True
+
+
+def _transfer_clear_of_group(program: DeviceProgram, t: int, group: list[int]) -> bool:
+    """A transfer interleaved with a launch group is movable past the
+    fused launch when the region oracle proves it independent of every
+    stage — it touches a provably disjoint box of the shared buffer, so
+    reordering it after the group cannot change any value it moves."""
+    from repro.analysis.regions import RegionOracle
+
+    oracle = RegionOracle(program)
+    return all(oracle.independent(t, g) for g in group)
 
 
 def _candidate(program: DeviceProgram) -> tuple[str, list[int]] | None:
@@ -91,7 +111,9 @@ def _candidate(program: DeviceProgram) -> tuple[str, list[int]] | None:
                     ok = False
                     break
             elif isinstance(op, (HostToDevice, DeviceToHost)):
-                if op.device in group_bufs:
+                if op.device in group_bufs and not _transfer_clear_of_group(
+                    program, i, group
+                ):
                     ok = False
                     break
             elif isinstance(op, FreeDevice) and op.buffer in group_bufs:
@@ -151,3 +173,84 @@ def fuse_program(program: DeviceProgram) -> tuple[DeviceProgram, list[str]]:
         )
         program = _rebuild(program, ops)
         eliminated.append(buf)
+
+
+def _sibling_candidate(program: DeviceProgram) -> tuple[int, int] | None:
+    """One fusable pair of adjacent independent launches, or ``None``.
+
+    Eligible pairs are consecutive launches that write the same buffer
+    but — per the region oracle — provably disjoint boxes of it (and
+    share nothing else with a write involved).  The whole-buffer view
+    sees two writers of one buffer and must refuse; the oracle is what
+    makes this fusion legal at all.
+    """
+    from repro.analysis.regions import RegionOracle
+
+    launches = [
+        i for i, op in enumerate(program.ops) if isinstance(op, LaunchKernel)
+    ]
+    oracle = None
+    for a, b in zip(launches, launches[1:]):
+        la, lb = program.ops[a], program.ops[b]
+        if la.kernel.space.rank != lb.kernel.space.rank:
+            continue
+        if not (launch_writes(la) & launch_writes(lb)):
+            continue
+        if not _inputs_available_at_entry([la, lb], set()):
+            continue
+        pair_bufs = {buf for st in (la, lb) for _, buf in st.array_args}
+        clear = True
+        for i in range(a + 1, b):
+            op = program.ops[i]
+            if isinstance(op, AllocDevice):
+                continue  # host-side bookkeeping, movable
+            if (
+                isinstance(op, (HostToDevice, DeviceToHost))
+                and op.device not in pair_bufs
+            ):
+                continue
+            clear = False
+            break
+        if not clear:
+            continue
+        if oracle is None:
+            oracle = RegionOracle(program)
+        if oracle.may_alias(a, b):
+            continue
+        return a, b
+    return None
+
+
+def fuse_independent_siblings(program: DeviceProgram) -> tuple[DeviceProgram, int]:
+    """Fuse adjacent launches that write disjoint regions of one buffer.
+
+    The generic downscaler's tiled launches come in main-box/remainder
+    pairs: both write the same output buffer, so the intermediate-based
+    :func:`fuse_program` can never group them, and under whole-buffer
+    reasoning they look like they share data.  The region oracle proves
+    each pair touches disjoint strided boxes; fusing them keeps the stage
+    order (bit-exactness is structural) and pays one launch overhead for
+    the pair.  Returns ``(program, pairs fused)``.
+    """
+    fused = 0
+    while True:
+        found = _sibling_candidate(program)
+        if found is None:
+            return program, fused
+        a, b = found
+        la, lb = program.ops[a], program.ops[b]
+        allocs = {
+            op.buffer: op for op in program.ops if isinstance(op, AllocDevice)
+        }
+        shared = launch_writes(la) & launch_writes(lb)
+        launch = make_fused_launch(
+            name=f"sibling_{min(shared)}",
+            stages=(la, lb),
+            internal_buffers=set(),
+            geometry=allocs,
+        )
+        ops = list(program.ops)
+        program = _rebuild(
+            program, ops[:a] + [launch] + ops[a + 1: b] + ops[b + 1:]
+        )
+        fused += 1

@@ -25,6 +25,9 @@ class OptOptions:
     transfers: bool = True
     #: cross-kernel fusion over single-use untransferred intermediates
     fusion: bool = True
+    #: region-oracle sibling fusion: adjacent launches writing provably
+    #: disjoint boxes of one buffer collapse into a single launch
+    sibling_fusion: bool = True
     #: liveness-driven pooling: frees move to last use, allocations are
     #: served from the executor's free-list across repeated frames
     pooling: bool = True
@@ -41,6 +44,8 @@ class OptOptions:
             names.append("transfer-elimination")
         if self.fusion:
             names.append("fusion")
+        if self.sibling_fusion:
+            names.append("sibling-fusion")
         if self.pooling:
             names.append("pooling")
         return tuple(names)

@@ -65,7 +65,11 @@ def dead_code_elimination(program: DeviceProgram) -> tuple[DeviceProgram, int]:
       them (XFER003).
 
     Kernel writes and host-step writes may be partial updates, so they
-    never kill liveness; full-array copies (H2D/D2H) do.
+    never kill liveness; full-array copies (H2D/D2H) do.  A transfer
+    carrying a ``region`` is itself a partial update: a partial download
+    merges into the prior host values (so the host array stays live
+    upstream), and a partial upload leaves the rest of the buffer as it
+    was (so the device buffer stays live upstream).
     """
     ops = list(program.ops)
     keep = [True] * len(ops)
@@ -76,13 +80,15 @@ def dead_code_elimination(program: DeviceProgram) -> tuple[DeviceProgram, int]:
         op = ops[i]
         if isinstance(op, DeviceToHost):
             if op.host in needed_host:
-                needed_host.discard(op.host)
+                if op.region is None:
+                    needed_host.discard(op.host)
                 needed_dev.add(op.device)
             else:
                 keep[i] = False
         elif isinstance(op, HostToDevice):
             if op.device in needed_dev:
-                needed_dev.discard(op.device)
+                if op.region is None:
+                    needed_dev.discard(op.device)
                 needed_host.add(op.host)
             else:
                 keep[i] = False
@@ -127,6 +133,12 @@ def eliminate_redundant_transfers(program: DeviceProgram) -> tuple[DeviceProgram
     per-iteration re-upload of an unchanged input is exactly such a
     redundant transfer — deleting every copy but the first *is* the
     loop-invariant hoist.
+
+    Partial transfers (``region`` set) are handled conservatively: a
+    partial re-upload of an already-resident (host, generation) pair is
+    still a no-op and is removed, but a partial transfer never
+    *establishes* residency — it moves only a sub-box, so afterwards the
+    buffer and the host array are not known to agree everywhere.
     """
     kept: list = []
     removed = 0
@@ -143,10 +155,16 @@ def eliminate_redundant_transfers(program: DeviceProgram) -> tuple[DeviceProgram
             if resident.get(op.device) == (op.host, gen):
                 removed += 1
                 continue
-            resident[op.device] = (op.host, gen)
+            if op.region is None:
+                resident[op.device] = (op.host, gen)
+            else:
+                resident.pop(op.device, None)
         elif isinstance(op, DeviceToHost):
             host_gen[op.host] = host_gen.get(op.host, 0) + 1
-            resident[op.device] = (op.host, host_gen[op.host])
+            if op.region is None:
+                resident[op.device] = (op.host, host_gen[op.host])
+            else:
+                resident.pop(op.device, None)
         elif isinstance(op, LaunchKernel):
             for buf in launch_writes(op):
                 resident.pop(buf, None)

@@ -2,7 +2,8 @@
 
 :func:`optimize_program` runs the enabled passes in a fixed order —
 DCE and transfer elimination to a joint fixpoint (each unlocks work for
-the other), then fusion, then liveness pooling — and, unless disabled,
+the other), then fusion (intermediate-based, then region-oracle sibling
+pairs), then liveness pooling — and, unless disabled,
 **certifies** the result: the optimised program must re-validate
 structurally and must not add any finding to the PR-1 hazard, transfer
 or bounds analyses relative to the input program.  Certification failure
@@ -18,7 +19,7 @@ from repro.errors import OptError
 from repro.ir.program import DeviceProgram
 from repro.ir.validate import validate_program
 from repro.obs.span import current_tracer
-from repro.opt.fusion import fuse_program
+from repro.opt.fusion import fuse_independent_siblings, fuse_program
 from repro.opt.options import OptOptions
 from repro.opt.passes import (
     dead_code_elimination,
@@ -143,6 +144,20 @@ def optimize_program(
                     sp.set(removed=n)
                 if n:
                     notes.append(("dce", f"removed {n} dead ops after fusion"))
+
+        if options.sibling_fusion:
+            # the region oracle proves adjacent same-buffer writers disjoint;
+            # whole-buffer fusion above can never legalise these pairs
+            with tracer.span(
+                "opt-pass:sibling-fusion", category="opt-pass"
+            ) as sp:
+                program, n = fuse_independent_siblings(program)
+                sp.set(fused_pairs=n)
+            if n:
+                notes.append(
+                    ("sibling-fusion",
+                     f"fused {n} independent sibling launch pair(s)")
+                )
 
         if options.pooling:
             with tracer.span("opt-pass:pooling", category="opt-pass") as sp:

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import DeviceError
 from repro.ir.program import (
     AllocDevice,
@@ -37,6 +39,7 @@ from repro.ir.program import (
     HostCompute,
     HostToDevice,
     LaunchKernel,
+    region_count,
 )
 from repro.obs.span import current_tracer
 
@@ -72,6 +75,12 @@ class ScheduledNode:
     reads: tuple[tuple[str, str], ...] = ()
     #: resources written
     writes: tuple[tuple[str, str], ...] = ()
+    #: per entry of ``reads``: the access boxes of
+    #: :mod:`repro.analysis.regions` (``None`` = whole resource); empty
+    #: when the schedule was built with ``regions=False``
+    read_boxes: tuple = field(default=(), compare=False, repr=False)
+    #: per entry of ``writes``, same convention
+    write_boxes: tuple = field(default=(), compare=False, repr=False)
 
     @property
     def duration_us(self) -> float:
@@ -140,6 +149,7 @@ def build_schedule(
     runs: int = 1,
     depth: int | None = 2,
     serialize: bool = False,
+    regions: bool = True,
 ) -> PipelineSchedule:
     """Schedule ``runs`` back-to-back executions of ``program``.
 
@@ -148,6 +158,11 @@ def build_schedule(
     functionally).  ``depth`` is the number of physical slots backing each
     device buffer (``None`` — one per run, i.e. unbounded buffering);
     ``serialize=True`` chains every operation after the previous one.
+    With ``regions=True`` (the default) data dependences are tracked at
+    the granularity of the access-region oracle: an operation does not
+    wait for a predecessor touching a provably disjoint box of the same
+    resource, so e.g. a partial upload of one tile overlaps a kernel
+    writing another.  ``regions=False`` restores whole-resource edges.
     The work is recorded as one ``schedule`` span on the ambient tracer.
     """
     with current_tracer().span(
@@ -155,7 +170,9 @@ def build_schedule(
         runs=runs, depth=depth if depth is not None else runs,
         serialize=serialize,
     ) as span:
-        schedule = _build_schedule(program, executor, runs, depth, serialize)
+        schedule = _build_schedule(
+            program, executor, runs, depth, serialize, regions
+        )
         span.set(nodes=len(schedule.nodes), makespan_us=schedule.makespan_us)
         return schedule
 
@@ -166,6 +183,7 @@ def _build_schedule(
     runs: int,
     depth: int | None,
     serialize: bool,
+    regions: bool = True,
 ) -> PipelineSchedule:
     if runs <= 0:
         raise ValueError("runs must be positive")
@@ -174,11 +192,36 @@ def _build_schedule(
         raise ValueError("depth must be positive")
     cost = executor.cost
 
+    overlap = None
+    op_access = None
+    if regions:
+        from repro.analysis.regions import RegionOracle, boxes_overlap
+
+        overlap = boxes_overlap
+        oracle = RegionOracle(program)
+        op_access = [oracle.accesses(i) for i in range(len(program.ops))]
+
+    def boxes_for(i: int, kind: str, name: str, write: bool):
+        """Access boxes of ``program.ops[i]`` on a resource (None = whole)."""
+        if op_access is None:
+            return None
+        return op_access[i][1 if write else 0].get((kind, name))
+
+    def disjoint(a, b) -> bool:
+        if overlap is None or a is None or b is None:
+            return False
+        return not any(overlap(x, y) for x in a for y in b)
+
     nbytes: dict[str, int] = {}
+    itemsize: dict[str, int] = {}
     engine_ready: dict[str, float] = {"h2d": 0.0, "compute": 0.0, "d2h": 0.0}
-    #: per resource: (writer node id | None, writer end, [(reader id, reader end), ...])
-    writer: dict[tuple[str, str], tuple[int, float]] = {}
-    readers: dict[tuple[str, str], list[tuple[int, float]]] = {}
+    #: per resource, the writers/readers still relevant for dependences:
+    #: (node id, end, access boxes, engine).  A whole-resource write
+    #: supersedes everything before it (it waited on all of it); a
+    #: boxed write supersedes equal-boxed writers, a read supersedes
+    #: equal-boxed reads on the same engine (FIFO orders them).
+    writers: dict[tuple[str, str], list] = {}
+    readers: dict[tuple[str, str], list] = {}
     host_sync = 0.0
     host_barrier: int | None = None
     prev_node: tuple[int, float] | None = None  # for serialize
@@ -191,16 +234,28 @@ def _build_schedule(
     def host_res(name: str, run: int) -> tuple[str, str]:
         return (HOST, f"{name}@r{run}")
 
-    def wait_read(res: tuple[str, str], after: float, deps: set[int]) -> float:
-        w = writer.get(res)
-        if w is not None:
-            deps.add(w[0])
-            after = max(after, w[1])
+    def xfer_nbytes(op) -> int:
+        if op.region is None:
+            return nbytes[op.device]
+        return region_count(op.region) * itemsize[op.device]
+
+    def wait_read(
+        res: tuple[str, str], after: float, deps: set[int], boxes=None
+    ) -> float:
+        for wid, wend, wb, _ in writers.get(res, ()):
+            if disjoint(boxes, wb):
+                continue
+            deps.add(wid)
+            after = max(after, wend)
         return after
 
-    def wait_write(res: tuple[str, str], after: float, deps: set[int]) -> float:
-        after = wait_read(res, after, deps)  # WAW
-        for rid, rend in readers.get(res, ()):  # WAR (slot recycling)
+    def wait_write(
+        res: tuple[str, str], after: float, deps: set[int], boxes=None
+    ) -> float:
+        after = wait_read(res, after, deps, boxes)  # WAW
+        for rid, rend, rb, _ in readers.get(res, ()):  # WAR (slot recycling)
+            if disjoint(boxes, rb):
+                continue
             deps.add(rid)
             after = max(after, rend)
         return after
@@ -215,6 +270,8 @@ def _build_schedule(
         deps: set[int],
         read_res: tuple[tuple[str, str], ...],
         write_res: tuple[tuple[str, str], ...],
+        read_boxes: tuple = (),
+        write_boxes: tuple = (),
     ) -> ScheduledNode:
         nonlocal prev_node
         if host_barrier is not None:
@@ -227,6 +284,10 @@ def _build_schedule(
         end = start + dur
         if engine in engine_ready:
             engine_ready[engine] = end
+        if not read_boxes:
+            read_boxes = (None,) * len(read_res)
+        if not write_boxes:
+            write_boxes = (None,) * len(write_res)
         node = ScheduledNode(
             id=len(nodes),
             run=run,
@@ -238,13 +299,27 @@ def _build_schedule(
             deps=tuple(sorted(deps)),
             reads=read_res,
             writes=write_res,
+            read_boxes=read_boxes,
+            write_boxes=write_boxes,
         )
         nodes.append(node)
-        for res in write_res:
-            writer[res] = (node.id, end)
-            readers[res] = []
-        for res in read_res:
-            readers.setdefault(res, []).append((node.id, end))
+        for res, wb in zip(write_res, write_boxes):
+            if wb is None:
+                # a whole-resource write waited on every recorded
+                # predecessor, so it supersedes the lot
+                writers[res] = [(node.id, end, None, engine)]
+                readers[res] = []
+            else:
+                kept = [w for w in writers.get(res, ()) if w[2] != wb]
+                kept.append((node.id, end, wb, engine))
+                writers[res] = kept
+        for res, rb in zip(read_res, read_boxes):
+            kept = [
+                r for r in readers.get(res, ())
+                if not (r[2] == rb and r[3] == engine)
+            ]
+            kept.append((node.id, end, rb, engine))
+            readers[res] = kept
         prev_node = (node.id, end)
         return node
 
@@ -252,19 +327,23 @@ def _build_schedule(
         for i, op in enumerate(program.ops):
             if isinstance(op, AllocDevice):
                 nbytes[op.buffer] = op.nbytes
+                itemsize[op.buffer] = np.dtype(op.dtype).itemsize
             elif isinstance(op, FreeDevice):
                 pass
             elif isinstance(op, HostToDevice):
                 if op.device not in nbytes:
                     raise DeviceError(f"H2D into unallocated buffer {op.device!r}")
-                dur = cost.h2d_time_us(nbytes[op.device])
+                dur = cost.h2d_time_us(xfer_nbytes(op))
                 serial += dur
                 deps: set[int] = set()
                 res = dev(op.device, run)
-                after = wait_write(res, 0.0, deps)
+                wb = boxes_for(i, "device buffer", op.device, True)
+                rb = boxes_for(i, "host array", op.host, False)
+                after = wait_write(res, 0.0, deps, wb)
                 place(
                     run, i, f"h2d:{op.device}", "h2d", dur, after, deps,
                     read_res=(host_res(op.host, run),), write_res=(res,),
+                    read_boxes=(rb,), write_boxes=(wb,),
                 )
             elif isinstance(op, LaunchKernel):
                 dur = executor.kernel_breakdown(op.kernel).total_us
@@ -273,32 +352,42 @@ def _build_schedule(
                 after = 0.0
                 read_res: list[tuple[str, str]] = []
                 write_res: list[tuple[str, str]] = []
+                read_boxes: list = []
+                write_boxes: list = []
                 for param, buf in op.array_args:
                     res = dev(buf, run)
                     intent = op.kernel.array(param).intent
                     if intent in ("in", "inout"):
+                        rb = boxes_for(i, "device buffer", buf, False)
                         read_res.append(res)
-                        after = wait_read(res, after, deps)
+                        read_boxes.append(rb)
+                        after = wait_read(res, after, deps, rb)
                     if intent in ("out", "inout"):
+                        wb = boxes_for(i, "device buffer", buf, True)
                         write_res.append(res)
-                        after = wait_write(res, after, deps)
+                        write_boxes.append(wb)
+                        after = wait_write(res, after, deps, wb)
                 place(
                     run, i, op.kernel.name, "compute", dur, after, deps,
                     read_res=tuple(read_res), write_res=tuple(write_res),
+                    read_boxes=tuple(read_boxes), write_boxes=tuple(write_boxes),
                 )
             elif isinstance(op, DeviceToHost):
                 if op.device not in nbytes:
                     raise DeviceError(f"D2H from unallocated buffer {op.device!r}")
-                dur = cost.d2h_time_us(nbytes[op.device])
+                dur = cost.d2h_time_us(xfer_nbytes(op))
                 serial += dur
                 deps = set()
                 res = dev(op.device, run)
                 out_res = host_res(op.host, run)
-                after = wait_read(res, 0.0, deps)
-                after = wait_write(out_res, after, deps)
+                rb = boxes_for(i, "device buffer", op.device, False)
+                wb = boxes_for(i, "host array", op.host, True)
+                after = wait_read(res, 0.0, deps, rb)
+                after = wait_write(out_res, after, deps, wb)
                 place(
                     run, i, f"d2h:{op.device}", "d2h", dur, after, deps,
                     read_res=(res,), write_res=(out_res,),
+                    read_boxes=(rb,), write_boxes=(wb,),
                 )
             elif isinstance(op, HostCompute):
                 dur = cost.host_work_time_us(op.work)
@@ -307,17 +396,24 @@ def _build_schedule(
                 after = 0.0
                 read_res = []
                 write_res = []
+                read_boxes = []
+                write_boxes = []
                 for name in op.reads:
                     res = host_res(name, run)
+                    rb = boxes_for(i, "host array", name, False)
                     read_res.append(res)
-                    after = wait_read(res, after, deps)
+                    read_boxes.append(rb)
+                    after = wait_read(res, after, deps, rb)
                 for name in op.writes:
                     res = host_res(name, run)
+                    wb = boxes_for(i, "host array", name, True)
                     write_res.append(res)
-                    after = wait_write(res, after, deps)
+                    write_boxes.append(wb)
+                    after = wait_write(res, after, deps, wb)
                 node = place(
                     run, i, op.name, "host", dur, after, deps,
                     read_res=tuple(read_res), write_res=tuple(write_res),
+                    read_boxes=tuple(read_boxes), write_boxes=tuple(write_boxes),
                 )
                 host_sync = node.end_us
                 host_barrier = node.id
@@ -342,7 +438,22 @@ def schedule_violations(schedule: PipelineSchedule) -> list[str]:
     WAW/WAR (a write starting before the previous writer or any of its
     readers finish — slot recycling safety), and per-engine FIFO order.
     Used by the property tests and the pipeline hazard check.
+
+    The check mirrors the builder's region awareness symmetrically: a
+    pair of accesses whose recorded boxes are provably disjoint needs no
+    ordering, so skipping its dependence is not a violation.  Nodes
+    without boxes (``regions=False`` builds) are checked whole-resource.
     """
+    from repro.analysis.regions import boxes_overlap
+
+    def disjoint(a, b) -> bool:
+        if a is None or b is None:
+            return False
+        return not any(boxes_overlap(x, y) for x in a for y in b)
+
+    def aligned(boxes, resources):
+        return boxes if boxes else (None,) * len(resources)
+
     out: list[str] = []
 
     # per-engine FIFO: issue order == time order, no overlap
@@ -360,38 +471,57 @@ def schedule_violations(schedule: PipelineSchedule) -> list[str]:
                     f"{a.end_us:.3f}"
                 )
 
-    # data dependences, replayed in issue order per resource
-    last_writer: dict[tuple[str, str], ScheduledNode] = {}
-    last_readers: dict[tuple[str, str], list[ScheduledNode]] = {}
+    # data dependences, replayed in issue order per resource; histories
+    # carry (node, boxes) and are pruned exactly like the builder's
+    # tables — a whole-resource write supersedes everything it waited on,
+    # an equal-boxed write/same-engine read supersedes its predecessor
+    writer_hist: dict[tuple[str, str], list] = {}
+    reader_hist: dict[tuple[str, str], list] = {}
     for n in schedule.nodes:
-        for res in n.reads:
-            w = last_writer.get(res)
-            if w is not None and n.start_us < w.end_us - _EPS:
-                out.append(
-                    f"RAW on {res}: node {n.id} ({n.name}) reads at "
-                    f"{n.start_us:.3f} before writer {w.id} ({w.name}) ends at "
-                    f"{w.end_us:.3f}"
-                )
-        for res in n.writes:
-            w = last_writer.get(res)
-            if w is not None and n.start_us < w.end_us - _EPS:
-                out.append(
-                    f"WAW on {res}: node {n.id} ({n.name}) writes at "
-                    f"{n.start_us:.3f} before writer {w.id} ({w.name}) ends at "
-                    f"{w.end_us:.3f}"
-                )
-            for r in last_readers.get(res, ()):
+        for res, rb in zip(n.reads, aligned(n.read_boxes, n.reads)):
+            for w, wb in writer_hist.get(res, ()):
+                if disjoint(rb, wb):
+                    continue
+                if n.start_us < w.end_us - _EPS:
+                    out.append(
+                        f"RAW on {res}: node {n.id} ({n.name}) reads at "
+                        f"{n.start_us:.3f} before writer {w.id} ({w.name}) "
+                        f"ends at {w.end_us:.3f}"
+                    )
+        for res, wb in zip(n.writes, aligned(n.write_boxes, n.writes)):
+            for w, owb in writer_hist.get(res, ()):
+                if disjoint(wb, owb):
+                    continue
+                if n.start_us < w.end_us - _EPS:
+                    out.append(
+                        f"WAW on {res}: node {n.id} ({n.name}) writes at "
+                        f"{n.start_us:.3f} before writer {w.id} ({w.name}) "
+                        f"ends at {w.end_us:.3f}"
+                    )
+            for r, rb in reader_hist.get(res, ()):
+                if disjoint(wb, rb):
+                    continue
                 if n.start_us < r.end_us - _EPS:
                     out.append(
                         f"WAR on {res}: node {n.id} ({n.name}) writes at "
-                        f"{n.start_us:.3f} before reader {r.id} ({r.name}) ends "
-                        f"at {r.end_us:.3f}"
+                        f"{n.start_us:.3f} before reader {r.id} ({r.name}) "
+                        f"ends at {r.end_us:.3f}"
                     )
-        for res in n.writes:
-            last_writer[res] = n
-            last_readers[res] = []
-        for res in n.reads:
-            last_readers.setdefault(res, []).append(n)
+        for res, wb in zip(n.writes, aligned(n.write_boxes, n.writes)):
+            if wb is None:
+                writer_hist[res] = [(n, None)]
+                reader_hist[res] = []
+            else:
+                kept = [w for w in writer_hist.get(res, ()) if w[1] != wb]
+                kept.append((n, wb))
+                writer_hist[res] = kept
+        for res, rb in zip(n.reads, aligned(n.read_boxes, n.reads)):
+            kept = [
+                r for r in reader_hist.get(res, ())
+                if not (r[1] == rb and r[0].engine == n.engine)
+            ]
+            kept.append((n, rb))
+            reader_hist[res] = kept
 
     # host steps serialise against each other and block all later issue.
     # One ordered pass tracking the latest-ending host step issued so far —

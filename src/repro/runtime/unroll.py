@@ -115,12 +115,18 @@ def unroll_pipeline(
                 pass  # slots are recycled; freed once at the end
             elif isinstance(op, HostToDevice):
                 ops.append(
-                    HostToDevice(harr(op.host, run), slot(op.device, run), op.is_async)
+                    HostToDevice(
+                        harr(op.host, run), slot(op.device, run), op.is_async,
+                        region=op.region,
+                    )
                 )
                 origins.append((run, i))
             elif isinstance(op, DeviceToHost):
                 ops.append(
-                    DeviceToHost(slot(op.device, run), harr(op.host, run), op.is_async)
+                    DeviceToHost(
+                        slot(op.device, run), harr(op.host, run), op.is_async,
+                        region=op.region,
+                    )
                 )
                 origins.append((run, i))
             elif isinstance(op, LaunchKernel):

@@ -16,6 +16,7 @@ from repro.tilers.analysis import (
     uncovered_element_count,
 )
 from repro.tilers.ops import flat_element_indices, gather, scatter, scatter_into_zeros
+from repro.tilers.regions import tiler_access_box
 from repro.tilers.tiler import Tiler
 from repro.tilers.viz import render_pattern, render_tiling
 
@@ -32,5 +33,6 @@ __all__ = [
     "is_exact",
     "duplicate_element_count",
     "uncovered_element_count",
+    "tiler_access_box",
     "render_tiling", "render_pattern",
 ]

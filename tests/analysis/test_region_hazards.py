@@ -1,0 +1,147 @@
+"""Region-precise hazard filtering.
+
+Two documented PR1 false positives — disjoint tile accesses flagged as
+races at whole-buffer granularity — must disappear with ``regions=True``,
+and (property) the region-filtered finding set is always a subset of the
+whole-buffer one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import find_hazards
+from repro.ir import (
+    AllocDevice,
+    ArrayParam,
+    Const,
+    DeviceProgram,
+    DeviceToHost,
+    HostToDevice,
+    IndexSpace,
+    Kernel,
+    LaunchKernel,
+    Store,
+    ThreadIdx,
+)
+
+SHAPE = (8, 8)
+
+
+def _row_writer(name: str, lo: int, hi: int) -> Kernel:
+    """Writes rows ``[lo, hi)`` of ``dst``; reads nothing."""
+    return Kernel(
+        name=name,
+        space=IndexSpace((lo, 0), (hi, SHAPE[1])),
+        arrays=(ArrayParam("dst", SHAPE, intent="out"),),
+        body=(Store("dst", (ThreadIdx(0), ThreadIdx(1)), Const(1)),),
+    )
+
+
+def _rows(lo: int, hi: int):
+    return ((lo, hi, 1), (0, SHAPE[1], 1))
+
+
+class TestDocumentedFalsePositives:
+    def test_partial_upload_vs_disjoint_tile_writer(self):
+        """FP #1: a tile upload racing a kernel that writes *other* rows.
+
+        The kernel (compute engine) and the second upload (h2d engine)
+        are genuinely unordered, and both "write d" at whole-buffer
+        granularity — PR1 flags RACE001.  Their boxes are rows [4, 8)
+        vs rows [0, 4): provably disjoint, no race.
+        """
+        prog = DeviceProgram(
+            "tile_upload",
+            ops=(
+                AllocDevice("d", SHAPE),
+                HostToDevice("h_full", "d"),
+                LaunchKernel(_row_writer("bottom", 4, 8), (("dst", "d"),)),
+                HostToDevice("h_tile", "d", region=_rows(0, 4)),
+            ),
+            host_inputs=("h_full", "h_tile"),
+            host_outputs=(),
+        )
+        coarse = find_hazards(prog, regions=False)
+        assert [d.code for d in coarse] == ["RACE001"]
+        assert find_hazards(prog, regions=True) == []
+
+    def test_partial_download_vs_disjoint_tile_writer(self):
+        """FP #2: downloading finished rows while a kernel writes others.
+
+        The download of rows [4, 8) only waits on the *last writer* of
+        ``d`` (the initial upload); the kernel writing rows [0, 4) runs
+        concurrently — PR1 flags the read/write pair as RACE002.  The
+        regions are disjoint, so streaming the finished tile out is legal.
+        """
+        prog = DeviceProgram(
+            "tile_download",
+            ops=(
+                AllocDevice("d", SHAPE),
+                HostToDevice("h_in", "d"),
+                DeviceToHost("d", "h_done", region=_rows(4, 8)),
+                LaunchKernel(_row_writer("top", 0, 4), (("dst", "d"),)),
+            ),
+            host_inputs=("h_in",),
+            host_outputs=("h_done",),
+        )
+        coarse = find_hazards(prog, regions=False)
+        assert [d.code for d in coarse] == ["RACE002"]
+        assert find_hazards(prog, regions=True) == []
+
+    def test_overlapping_tiles_still_race(self):
+        """Negative control: overlapping rows keep the finding."""
+        prog = DeviceProgram(
+            "overlap",
+            ops=(
+                AllocDevice("d", SHAPE),
+                HostToDevice("h_full", "d"),
+                LaunchKernel(_row_writer("bottom", 3, 8), (("dst", "d"),)),
+                HostToDevice("h_tile", "d", region=_rows(0, 4)),
+            ),
+            host_inputs=("h_full", "h_tile"),
+            host_outputs=(),
+        )
+        assert [d.code for d in find_hazards(prog, regions=True)] == ["RACE001"]
+
+
+# ---------------------------------------------------------------------------
+# property: filtering only ever removes findings
+
+
+@st.composite
+def racy_programs(draw) -> DeviceProgram:
+    """Programs mixing tile kernels and (partial) transfers, unordered on
+    purpose: the h2d engine does not wait for compute and vice versa."""
+    n_bufs = draw(st.integers(1, 2))
+    ops: list = [AllocDevice(f"d_{b}", SHAPE) for b in range(n_bufs)]
+    ops += [HostToDevice("h_in", f"d_{b}") for b in range(n_bufs)]
+    n_steps = draw(st.integers(1, 5))
+    for s in range(n_steps):
+        buf = f"d_{draw(st.integers(0, n_bufs - 1))}"
+        kind = draw(st.sampled_from(("launch", "h2d", "d2h")))
+        lo = draw(st.integers(0, 7))
+        hi = draw(st.integers(lo + 1, 8))
+        if kind == "launch":
+            ops.append(
+                LaunchKernel(_row_writer(f"k{s}_{lo}_{hi}", lo, hi), (("dst", buf),))
+            )
+        elif kind == "h2d":
+            region = _rows(lo, hi) if draw(st.booleans()) else None
+            ops.append(HostToDevice("h_in", buf, region=region))
+        else:
+            region = _rows(lo, hi) if draw(st.booleans()) else None
+            ops.append(DeviceToHost(buf, f"h_out_{s}", region=region))
+    return DeviceProgram(
+        "racy",
+        ops=tuple(ops),
+        host_inputs=("h_in",),
+        host_outputs=(),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=racy_programs())
+def test_region_findings_are_a_subset_of_whole_buffer_findings(program):
+    coarse = {(d.code, d.message) for d in find_hazards(program, regions=False)}
+    precise = {(d.code, d.message) for d in find_hazards(program, regions=True)}
+    assert precise <= coarse

@@ -72,6 +72,7 @@ def test_opt_passes_record_spans():
         "opt-pass:dce",
         "opt-pass:transfer-elimination",
         "opt-pass:fusion",
+        "opt-pass:sibling-fusion",
         "opt-pass:pooling",
         "opt-pass:certify",
     }

@@ -101,6 +101,7 @@ opt_configs = st.builds(
     dce=st.booleans(),
     transfers=st.booleans(),
     fusion=st.booleans(),
+    sibling_fusion=st.booleans(),
     pooling=st.booleans(),
 )
 

@@ -1,0 +1,244 @@
+"""Region-oracle sibling fusion + partial-transfer conservatism.
+
+The sibling pass merges adjacent launches that write provably-disjoint
+regions of the same buffer — a pair the intermediate-based fusion of PR4
+must refuse, because at whole-buffer granularity both launches "write the
+buffer" and neither is the other's single-use producer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GTX480_CALIBRATED, CostModel, GPUExecutor
+from repro.ir import (
+    AllocDevice,
+    ArrayParam,
+    Const,
+    DeviceProgram,
+    DeviceToHost,
+    FreeDevice,
+    HostToDevice,
+    IndexSpace,
+    Kernel,
+    LaunchKernel,
+    Read,
+    Store,
+    ThreadIdx,
+    validate_program,
+)
+from repro.ir.fused import FusedKernel
+from repro.opt import (
+    OptOptions,
+    eliminate_redundant_transfers,
+    fuse_independent_siblings,
+    optimize_program,
+)
+
+SHAPE = (8, 8)
+
+
+def _row_writer(name: str, lo: int, hi: int, c: int = 1) -> Kernel:
+    return Kernel(
+        name=name,
+        space=IndexSpace((lo, 0), (hi, SHAPE[1])),
+        arrays=(
+            ArrayParam("src", SHAPE, intent="in"),
+            ArrayParam("dst", SHAPE, intent="inout"),
+        ),
+        body=(
+            Store(
+                "dst",
+                (ThreadIdx(0), ThreadIdx(1)),
+                Read("src", (ThreadIdx(0), ThreadIdx(1))),
+            ),
+        ),
+    )
+
+
+def _tile_program(lo_hi_a, lo_hi_b) -> DeviceProgram:
+    """Two launches each writing a row band of the shared output."""
+    return DeviceProgram(
+        "tiles",
+        ops=(
+            AllocDevice("d_src", SHAPE),
+            AllocDevice("d_dst", SHAPE),
+            HostToDevice("h_in", "d_src"),
+            HostToDevice("h_init", "d_dst"),
+            LaunchKernel(
+                _row_writer("a", *lo_hi_a), (("src", "d_src"), ("dst", "d_dst"))
+            ),
+            LaunchKernel(
+                _row_writer("b", *lo_hi_b), (("src", "d_src"), ("dst", "d_dst"))
+            ),
+            DeviceToHost("d_dst", "h_out"),
+            FreeDevice("d_src"),
+            FreeDevice("d_dst"),
+        ),
+        host_inputs=("h_in", "h_init"),
+        host_outputs=("h_out",),
+    )
+
+
+H_IN = np.arange(64, dtype=np.int32).reshape(SHAPE)
+H_INIT = np.full(SHAPE, -7, dtype=np.int32)
+ENV = {"h_in": H_IN, "h_init": H_INIT}
+
+
+def _run(program) -> np.ndarray:
+    ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+    return ex.run(program, dict(ENV)).outputs["h_out"]
+
+
+class TestSiblingPass:
+    def test_disjoint_row_bands_fuse(self):
+        prog = _tile_program((0, 4), (4, 8))
+        fused, n = fuse_independent_siblings(prog)
+        assert n == 1
+        assert fused.launch_count == 1
+        (launch,) = [op for op in fused.ops if isinstance(op, LaunchKernel)]
+        assert isinstance(launch.kernel, FusedKernel)
+        assert [s.kernel.name for s in launch.kernel.stages] == ["a", "b"]
+        validate_program(fused)
+        assert np.array_equal(_run(fused), _run(prog))
+
+    def test_overlapping_bands_are_refused(self):
+        prog = _tile_program((0, 5), (4, 8))
+        _, n = fuse_independent_siblings(prog)
+        assert n == 0
+
+    def test_full_pipeline_fuses_and_certifies(self):
+        prog = _tile_program((0, 4), (4, 8))
+        optimised, report = optimize_program(prog, OptOptions())
+        assert report.certified
+        assert optimised.launch_count < prog.launch_count
+        assert any(name == "sibling-fusion" for name, _ in report.passes)
+        assert np.array_equal(_run(optimised), _run(prog))
+
+    def test_toggle_disables_the_pass(self):
+        prog = _tile_program((0, 4), (4, 8))
+        optimised, report = optimize_program(
+            prog, OptOptions(sibling_fusion=False)
+        )
+        assert optimised.launch_count == prog.launch_count
+        assert all(name != "sibling-fusion" for name, _ in report.passes)
+        assert "sibling-fusion" not in OptOptions(
+            sibling_fusion=False
+        ).enabled_passes
+
+
+@pytest.mark.slow
+class TestGenericDownscalerHD:
+    """The acceptance case: the generic SaC variant emits per-half-frame
+    launch pairs that PR4's intermediate-based fusion refuses (both write
+    the output buffer); the region oracle proves the halves disjoint."""
+
+    def test_generic_hd_pairs_fuse_bit_exact_and_certified(self):
+        from repro.apps.downscaler import HD
+        from repro.apps.downscaler.sac_sources import (
+            GENERIC,
+            downscaler_program_source,
+        )
+        from repro.sac.backend import CompileOptions, compile_function
+        from repro.sac.parser import parse
+
+        cf = compile_function(
+            parse(downscaler_program_source(HD, GENERIC)),
+            "downscale",
+            CompileOptions(target="cuda"),
+        )
+        prog = cf.program
+        assert prog.launch_count == 4
+
+        # PR4's fusion alone cannot touch these pairs...
+        refused, _ = optimize_program(prog, OptOptions(sibling_fusion=False))
+        assert refused.launch_count == 4
+
+        # ...the region oracle legalises both
+        optimised, report = optimize_program(prog, OptOptions())
+        assert report.certified
+        assert optimised.launch_count == 2
+        names = [
+            op.kernel.name
+            for op in optimised.ops
+            if isinstance(op, LaunchKernel)
+        ]
+        assert all(name.startswith("sibling_") for name in names)
+
+        rng = np.random.default_rng(7)
+        frame = rng.integers(0, 255, size=(HD.rows, HD.cols)).astype(np.int32)
+        env = {prog.host_inputs[0]: frame}
+        ex = GPUExecutor(CostModel(GTX480_CALIBRATED))
+        want = ex.run(prog, dict(env)).outputs[prog.host_outputs[0]]
+        got = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(
+            optimised, dict(env)
+        ).outputs[prog.host_outputs[0]]
+        assert np.array_equal(got, want)
+
+
+class TestPartialTransferConservatism:
+    def test_partial_reupload_of_resident_data_is_removed(self):
+        prog = DeviceProgram(
+            "redundant_partial",
+            ops=(
+                AllocDevice("d", SHAPE),
+                HostToDevice("h_in", "d"),
+                HostToDevice("h_in", "d", region=((0, 4, 1), (0, 8, 1))),
+                LaunchKernel(
+                    _row_writer("k", 0, 8), (("src", "d"), ("dst", "d"))
+                ),
+                DeviceToHost("d", "h_out"),
+            ),
+            host_inputs=("h_in",),
+            host_outputs=("h_out",),
+        )
+        out, removed = eliminate_redundant_transfers(prog)
+        assert removed == 1
+        assert sum(isinstance(op, HostToDevice) for op in out.ops) == 1
+
+    def test_partial_upload_does_not_establish_residency(self):
+        prog = DeviceProgram(
+            "partial_first",
+            ops=(
+                AllocDevice("d", SHAPE),
+                HostToDevice("h_in", "d", region=((0, 4, 1), (0, 8, 1))),
+                HostToDevice("h_in", "d"),
+                DeviceToHost("d", "h_out"),
+            ),
+            host_inputs=("h_in",),
+            host_outputs=("h_out",),
+        )
+        # the later full upload is NOT redundant: the partial one left the
+        # rest of the buffer untouched
+        _, removed = eliminate_redundant_transfers(prog)
+        assert removed == 0
+
+    def test_optimised_partial_downloads_stay_bit_exact(self):
+        # the partial download merges rows [0, 4) of the device result
+        # into h_out *on top of* the earlier full download: DCE must not
+        # treat it as killing the whole host array
+        prog = DeviceProgram(
+            "partial_merge",
+            ops=(
+                AllocDevice("d_src", SHAPE),
+                AllocDevice("d_dst", SHAPE),
+                HostToDevice("h_in", "d_src"),
+                HostToDevice("h_init", "d_dst"),
+                DeviceToHost("d_dst", "h_out"),
+                LaunchKernel(
+                    _row_writer("a", 0, 4),
+                    (("src", "d_src"), ("dst", "d_dst")),
+                ),
+                DeviceToHost(
+                    "d_dst", "h_out", region=((0, 4, 1), (0, 8, 1))
+                ),
+                FreeDevice("d_src"),
+                FreeDevice("d_dst"),
+            ),
+            host_inputs=("h_in", "h_init"),
+            host_outputs=("h_out",),
+        )
+        want = _run(prog)
+        for options in (OptOptions(), OptOptions(transfers=False)):
+            optimised, report = optimize_program(prog, options)
+            validate_program(optimised)
+            assert np.array_equal(_run(optimised), want)

@@ -226,7 +226,13 @@ def test_opt_json(capsys):
 
     assert main(["opt", "--size", "cif", "--route", "sac", "--json"]) == 0
     doc = json.loads(capsys.readouterr().out)
-    assert doc["passes"] == ["dce", "transfer-elimination", "fusion", "pooling"]
+    assert doc["passes"] == [
+        "dce",
+        "transfer-elimination",
+        "fusion",
+        "sibling-fusion",
+        "pooling",
+    ]
     (entry,) = doc["routes"]
     assert entry["route"] == "sac-nongeneric"
     assert entry["bytes_saved"] > 0
@@ -239,7 +245,16 @@ def test_opt_pass_toggles(capsys):
     import json
 
     assert main(
-        ["opt", "--size", "cif", "--route", "sac", "--no-fusion", "--json"]
+        [
+            "opt",
+            "--size",
+            "cif",
+            "--route",
+            "sac",
+            "--no-fusion",
+            "--no-sibling-fusion",
+            "--json",
+        ]
     ) == 0
     doc = json.loads(capsys.readouterr().out)
     assert doc["passes"] == ["dce", "transfer-elimination", "pooling"]
