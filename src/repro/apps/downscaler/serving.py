@@ -10,6 +10,8 @@ bit-exactness end to end.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.apps.downscaler import reference
@@ -28,15 +30,41 @@ _CHANNELS = "rgb"
 
 
 class _DownscalerJobBase(PipelineJob):
-    def __init__(self, size: FrameSize = HD):
+    """Shared frame synthesis, memoised per frame.
+
+    ``env()`` and ``golden()`` are called independently per (frame,
+    instance) — without memoisation every frame was synthesised and
+    channel-split at least twice per run (and once more per golden
+    check).  A small per-instance LRU bounds memory while the pipeline /
+    broker walk frames in order; cached arrays are frozen so a consumer
+    mutating one would fault instead of corrupting later reads.
+    """
+
+    def __init__(self, size: FrameSize = HD, frame_cache: int = 8):
         self.size = size
+        self._frame = functools.lru_cache(maxsize=frame_cache)(self._make_frame)
+        self._channels = functools.lru_cache(maxsize=frame_cache)(
+            self._make_channels
+        )
+        self._golden_channel = functools.lru_cache(maxsize=frame_cache)(
+            self._make_golden_channel
+        )
 
-    def _frame(self, t: int) -> np.ndarray:
-        return synthetic_frame(self.size, t)
+    def _make_frame(self, t: int) -> np.ndarray:
+        frame = synthetic_frame(self.size, t)
+        frame.setflags(write=False)
+        return frame
 
-    def _golden_channel(self, t: int, channel: str) -> np.ndarray:
+    def _make_channels(self, t: int) -> dict[str, np.ndarray]:
         chans = channels_of(self._frame(t))
-        return reference.downscale_frame(chans[channel], self.size)
+        for arr in chans.values():
+            arr.setflags(write=False)
+        return chans
+
+    def _make_golden_channel(self, t: int, channel: str) -> np.ndarray:
+        out = reference.downscale_frame(self._channels(t)[channel], self.size)
+        out.setflags(write=False)
+        return out
 
 
 class SacDownscalerJob(_DownscalerJobBase):
@@ -50,8 +78,9 @@ class SacDownscalerJob(_DownscalerJobBase):
         variant: str = NONGENERIC,
         opt=None,
         transfers: str = "boundary",
+        frame_cache: int = 8,
     ):
-        super().__init__(size)
+        super().__init__(size, frame_cache=frame_cache)
         self.variant = variant
         self.opt = opt
         self.transfers = transfers
@@ -72,7 +101,7 @@ class SacDownscalerJob(_DownscalerJobBase):
 
     def env(self, frame: int, instance: int) -> dict[str, np.ndarray]:
         channel = _CHANNELS[instance]
-        return {"frame": channels_of(self._frame(frame))[channel]}
+        return {"frame": self._channels(frame)[channel]}
 
     def golden(self, frame: int, instance: int, program: DeviceProgram):
         out = program.host_outputs[0]
@@ -85,9 +114,10 @@ class GaspardDownscalerJob(_DownscalerJobBase):
     instances_per_frame = 1
 
     def __init__(
-        self, size: FrameSize = HD, opt=None, transfers: str = "boundary"
+        self, size: FrameSize = HD, opt=None, transfers: str = "boundary",
+        frame_cache: int = 8,
     ):
-        super().__init__(size)
+        super().__init__(size, frame_cache=frame_cache)
         self.opt = opt
         self.transfers = transfers
         self.name = "gaspard" if opt is None else "gaspard+opt"
@@ -102,9 +132,7 @@ class GaspardDownscalerJob(_DownscalerJobBase):
         return ctx.program
 
     def env(self, frame: int, instance: int) -> dict[str, np.ndarray]:
-        return {
-            f"in_{c}": v for c, v in channels_of(self._frame(frame)).items()
-        }
+        return {f"in_{c}": v for c, v in self._channels(frame).items()}
 
     def golden(self, frame: int, instance: int, program: DeviceProgram):
         return {

@@ -27,6 +27,11 @@ Subcommands::
               [--no-dce] [--no-transfer-elim] [--no-fusion]
               [--no-sibling-fusion] [--no-pooling]
               [--no-certify] [--json]
+    repro serve [--route sac|gaspard|both] [--size hd|cif] [--depth D]
+                [--opt] [--max-batch B] [--slo-ms S] [--requests N]
+                [--rate RPS] [--mode open|closed] [--clients C]
+                [--tenants T] [--deadline-ms D] [--queue-budget Q]
+                [--no-execute] [--json]
 
 Exit codes (all subcommands):
 
@@ -283,7 +288,7 @@ def _render_pipeline_report(r) -> str:
     )
     lines = [
         f"=== pipeline {r.job}: {r.frames} frames x "
-        f"{r.instances // r.frames} run(s) ({r.program}) ===",
+        f"{r.instances // max(1, r.frames)} run(s) ({r.program or 'nothing compiled'}) ===",
         f"  compile:    {r.cache.misses} miss(es), {r.cache.hits} hit(s) "
         f"(hit rate {100 * r.cache.hit_rate:.1f}%)",
         f"  serial:     {r.serial_us:12.1f} us",
@@ -304,7 +309,22 @@ def _cmd_pipeline(args) -> int:
 
     from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC
     from repro.apps.downscaler.serving import downscaler_job
+    from repro.obs import (
+        MetricsRegistry,
+        collect_memory,
+        collect_pipeline_report,
+        collect_profiler,
+    )
     from repro.runtime import FramePipeline, check_pipeline_hazards
+
+    def _metrics_snapshot(pipe, report, route_name: str) -> dict:
+        """One registry per served route: the report's aggregates plus a
+        snapshot of the shared executor's allocator/profiler state."""
+        reg = MetricsRegistry()
+        collect_pipeline_report(reg, report, route=route_name)
+        collect_memory(reg, pipe.executor.memory, route=route_name)
+        collect_profiler(reg, pipe.executor.profiler, route=route_name)
+        return reg.as_dict()
 
     size = _size(args.size)
     variant = NONGENERIC if args.variant == "nongeneric" else GENERIC
@@ -396,9 +416,18 @@ def _cmd_pipeline(args) -> int:
                 )
         if not args.json:
             print()
-        doc["routes"].append(entry)
+        # each route entry pairs the run report with a metrics-registry
+        # snapshot, so one `pipeline --json` feeds both a results consumer
+        # and a metrics scraper without a second run
+        doc["routes"].append({
+            "report": entry,
+            "metrics": _metrics_snapshot(pipe, report, report.job),
+        })
         if opt_entry is not None:
-            doc["routes"].append(opt_entry)
+            doc["routes"].append({
+                "report": opt_entry,
+                "metrics": _metrics_snapshot(pipe, opt_report, opt_report.job),
+            })
     if args.json:
         print(json.dumps(doc, indent=2))
     return EXIT_LINT_ERRORS if hazard_failures else EXIT_OK
@@ -505,6 +534,83 @@ def _cmd_metrics(args) -> int:
         print(json.dumps(reg.as_dict(), indent=2))
     else:
         print(reg.render_text(), end="")
+    return EXIT_OK
+
+
+def _cmd_serve(args) -> int:
+    """Drive the async serving tier over one or both routes."""
+    import json
+
+    from repro.apps.downscaler.config import CIF
+    from repro.apps.downscaler.sac_sources import GENERIC, NONGENERIC
+    from repro.apps.downscaler.serving import downscaler_job
+    from repro.obs import MetricsRegistry, collect_serving_report
+    from repro.serve import (
+        ServeBroker,
+        ServeConfig,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    size = _size(args.size)
+    variant = NONGENERIC if args.variant == "nongeneric" else GENERIC
+    routes = ("sac", "gaspard") if args.route == "both" else (args.route,)
+    opt = None
+    if args.opt:
+        from repro.opt import OptOptions
+
+        opt = OptOptions()
+    depth = None if args.depth == 0 else args.depth
+    deadline_us = None if args.deadline_ms is None else args.deadline_ms * 1000.0
+    doc: dict = {
+        "size": args.size,
+        "mode": args.mode,
+        "requests": args.requests,
+        "routes": [],
+    }
+    for route in routes:
+        job = downscaler_job(route, size=size, variant=variant, opt=opt)
+        # graceful degradation target: the same route at CIF size (when
+        # already serving CIF there is nothing smaller to degrade to)
+        degraded_job = None
+        if size is not CIF:
+            degraded_job = downscaler_job(route, size=CIF, variant=variant, opt=opt)
+        config = ServeConfig(
+            max_batch=args.max_batch,
+            slo_us=args.slo_ms * 1000.0,
+            queue_budget=args.queue_budget,
+            depth=depth,
+            execute="none" if args.no_execute else "all",
+        )
+        reg = MetricsRegistry()
+        broker = ServeBroker(job, config, degraded_job=degraded_job, registry=reg)
+        if args.mode == "closed":
+            _responses, report = run_closed_loop(
+                broker,
+                clients=args.clients,
+                requests_per_client=max(1, args.requests // max(1, args.clients)),
+                deadline_us=deadline_us,
+            )
+        else:
+            _responses, report = run_open_loop(
+                broker,
+                rate_rps=args.rate,
+                requests=args.requests,
+                tenants=args.tenants,
+                deadline_us=deadline_us,
+                jitter_seed=args.jitter_seed,
+            )
+        collect_serving_report(reg, report, route=job.name)
+        if args.json:
+            doc["routes"].append({
+                "report": report.as_dict(),
+                "metrics": reg.as_dict(),
+            })
+        else:
+            print(report.render())
+            print()
+    if args.json:
+        print(json.dumps(doc, indent=2))
     return EXIT_OK
 
 
@@ -886,6 +992,74 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--frames", type=int, default=4)
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async multi-tenant serving tier over a route",
+        description=(
+            "Puts the repro.serve broker in front of the runtime: a load "
+            "generator submits per-frame requests (tenant id + optional "
+            "deadline), the dynamic batcher coalesces them into pipeline "
+            "batches, admission control and per-tenant quotas reject early "
+            "under overload, and sustained SLO pressure degrades service to "
+            "CIF frames until load recedes.  Reports goodput, latency "
+            "percentiles, batch shapes and every gate's counters."
+        ),
+    )
+    p.add_argument("--route", choices=("sac", "gaspard", "both"), default="both")
+    p.add_argument("--size", choices=("hd", "cif"), default="cif")
+    p.add_argument(
+        "--variant", choices=("nongeneric", "generic"), default="nongeneric",
+        help="SaC route variant",
+    )
+    p.add_argument(
+        "--depth", type=int, default=2,
+        help="device buffer slots per array (0 = one per run)",
+    )
+    p.add_argument(
+        "--opt", action="store_true",
+        help="serve the repro.opt-optimised program",
+    )
+    p.add_argument("--requests", type=int, default=32, help="total requests")
+    p.add_argument(
+        "--mode", choices=("open", "closed"), default="open",
+        help="open loop (fixed offered rate) or closed loop (N clients)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open-loop offered load, requests/s of virtual time",
+    )
+    p.add_argument(
+        "--clients", type=int, default=8,
+        help="closed-loop client count (one request in flight each)",
+    )
+    p.add_argument("--tenants", type=int, default=4, help="distinct tenant ids")
+    p.add_argument(
+        "--max-batch", type=int, default=8,
+        help="dynamic batcher flush size",
+    )
+    p.add_argument(
+        "--slo-ms", type=float, default=50.0,
+        help="latency SLO driving flush slack and degradation",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline relative to arrival (default: none)",
+    )
+    p.add_argument(
+        "--queue-budget", type=int, default=64,
+        help="admission control's pending-request cap",
+    )
+    p.add_argument(
+        "--jitter-seed", type=int, default=None,
+        help="seeded exponential inter-arrival jitter (default: uniform gaps)",
+    )
+    p.add_argument(
+        "--no-execute", action="store_true",
+        help="model service times only; skip functional execution",
+    )
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("downscale", help="downscale one synthetic frame")
     p.add_argument("--size", choices=("hd", "cif"), default="hd")

@@ -39,6 +39,7 @@ from repro.obs.metrics import (
     collect_memory,
     collect_pipeline_report,
     collect_profiler,
+    collect_serving_report,
     collect_schedule,
 )
 from repro.obs.span import (
@@ -54,7 +55,7 @@ __all__ = [
     "Span", "Tracer", "NULL_TRACER", "NULL_SPAN", "current_tracer", "use_tracer",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "collect_cache", "collect_memory", "collect_schedule", "collect_profiler",
-    "collect_pipeline_report",
+    "collect_pipeline_report", "collect_serving_report",
     "chrome_trace", "schedule_events", "tracer_events", "write_chrome_trace",
     "validate_chrome_trace", "assert_valid_chrome_trace",
     "engine_busy_from_trace", "DEVICE_PID", "TRACER_PID",

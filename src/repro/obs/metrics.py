@@ -30,6 +30,7 @@ __all__ = [
     "collect_schedule",
     "collect_profiler",
     "collect_pipeline_report",
+    "collect_serving_report",
 ]
 
 
@@ -292,3 +293,36 @@ def collect_pipeline_report(reg: MetricsRegistry, report, **labels) -> None:
     collect_cache(reg, report.cache, **labels)
     if report.schedule is not None:
         collect_schedule(reg, report.schedule, **labels)
+
+
+def collect_serving_report(reg: MetricsRegistry, report, **labels) -> None:
+    """Absorb a :class:`~repro.serve.broker.ServingReport`'s aggregates.
+
+    The broker already streams per-request counters/histograms into its
+    own registry as it serves; this collector covers the *end-of-life*
+    aggregates (percentiles, goodput, state-machine totals) so a scrape
+    of a finished run needs only one registry.
+    """
+    reg.gauge("repro_serving_goodput_rps", **labels).set(report.goodput_rps)
+    reg.gauge("repro_serving_offered_rps", **labels).set(report.offered_rps)
+    reg.gauge("repro_serving_latency_p50_us", **labels).set(report.latency_p50_us)
+    reg.gauge("repro_serving_latency_p95_us", **labels).set(report.latency_p95_us)
+    reg.gauge("repro_serving_latency_p99_us", **labels).set(report.latency_p99_us)
+    reg.gauge("repro_serving_batch_size_mean", **labels).set(report.batch_size_mean)
+    reg.gauge(
+        "repro_serving_queue_depth_high_water", **labels
+    ).set(report.queue_depth_high_water)
+    reg.counter("repro_serving_offered_total", **labels).set(report.offered)
+    reg.counter("repro_serving_ok_total", **labels).set(report.completed_ok)
+    reg.counter("repro_serving_missed_total", **labels).set(report.completed_missed)
+    reg.counter("repro_serving_rejected_total", **labels).set(report.rejected)
+    for reason, count in sorted(report.rejected_by_reason.items()):
+        reg.counter(
+            "repro_serving_rejected_by_reason_total", reason=reason, **labels
+        ).set(count)
+    reg.counter("repro_serving_degraded_total", **labels).set(report.degraded_served)
+    reg.counter("repro_serving_batches_total", **labels).set(report.batches)
+    reg.counter(
+        "repro_serving_degrade_transitions_total", **labels
+    ).set(report.degrade_transitions)
+    reg.counter("repro_serving_validated_total", **labels).set(report.validated)

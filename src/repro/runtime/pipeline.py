@@ -170,8 +170,20 @@ class FramePipeline:
             return self._run(job, frames, tracer)
 
     def _run(self, job: PipelineJob, frames: int, tracer: Tracer) -> PipelineReport:
-        if frames <= 0:
-            raise ValueError("frames must be positive")
+        if frames < 0:
+            raise ValueError("frames must be >= 0")
+        if frames == 0:
+            # a zero-frame job (an empty broker flush, a drained queue) is
+            # not an error: report cleanly with nothing compiled or served
+            return PipelineReport(
+                job=job.name, program="", frames=0, instances=0,
+                depth=self.depth if self.depth is not None else 0,
+                serialize=self.serialize, serial_us=0.0, overlapped_us=0.0,
+                frames_per_second=0.0, latency_p50_us=0.0, latency_p95_us=0.0,
+                engine_busy_us={}, engine_occupancy={},
+                transfer_share_serial=0.0, cache=CacheStats(),
+                validated_instances=0,
+            )
         before = self.cache.stats.snapshot()
 
         with tracer.span(

@@ -1,0 +1,60 @@
+"""repro.serve — the async multi-tenant serving tier.
+
+The ROADMAP's "millions of users" direction: a front door over the
+stream-overlapped runtime so the throughput wins of the compile cache,
+the optimiser and the three-engine scheduler become *user-facing*
+latency and goodput numbers.
+
+* :mod:`repro.serve.clock` — deterministic virtual time for asyncio;
+* :mod:`repro.serve.types` — requests, responses, the config bundle;
+* :mod:`repro.serve.quota` — per-tenant token-bucket fairness;
+* :mod:`repro.serve.admission` — queue-budget + deadline-feasibility
+  rejection at arrival;
+* :mod:`repro.serve.batcher` — dynamic batching (flush on size or
+  deadline slack);
+* :mod:`repro.serve.degrade` — hysteretic SLO-gated quality degradation;
+* :mod:`repro.serve.broker` — the asyncio request broker tying it all
+  to the compile cache, scheduler and executor;
+* :mod:`repro.serve.loadgen` — closed/open-loop load generators.
+
+``repro serve`` drives it from the CLI; ``benchmarks/bench_serving.py``
+sweeps offered load to find the knee.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import DynamicBatcher, PendingEntry
+from repro.serve.broker import ServeBroker, ServingReport
+from repro.serve.clock import VirtualClock
+from repro.serve.degrade import DEGRADED, NORMAL, DegradeController
+from repro.serve.loadgen import (
+    closed_loop,
+    estimate_capacity_rps,
+    open_loop,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.quota import QuotaManager, TokenBucket
+from repro.serve.types import (
+    REJECT_DEADLINE,
+    REJECT_QUEUE,
+    REJECT_QUOTA,
+    STATUS_MISSED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    Request,
+    Response,
+    ServeConfig,
+    latency_buckets,
+)
+
+__all__ = [
+    "ServeBroker", "ServingReport", "ServeConfig", "VirtualClock",
+    "Request", "Response", "latency_buckets",
+    "STATUS_OK", "STATUS_MISSED", "STATUS_REJECTED",
+    "REJECT_QUEUE", "REJECT_QUOTA", "REJECT_DEADLINE",
+    "TokenBucket", "QuotaManager",
+    "AdmissionController", "DynamicBatcher", "PendingEntry",
+    "DegradeController", "NORMAL", "DEGRADED",
+    "open_loop", "closed_loop", "run_open_loop", "run_closed_loop",
+    "estimate_capacity_rps",
+]

@@ -1,0 +1,114 @@
+"""Admission control: reject early instead of serving late.
+
+Two gates run at arrival time, before a request ever holds a queue slot:
+
+* **queue budget** — a hard cap on pending requests.  Past it the system
+  is overloaded by definition; accepting more only adds queueing delay
+  for everyone already inside (the classic open-loop death spiral).
+* **deadline feasibility** — once service-time estimates exist, a request
+  whose projected completion (device backlog + queued batches ahead of
+  it + its own batch) already overruns its deadline is refused up front:
+  the client learns in microseconds instead of after burning device time
+  on an answer it will discard.
+
+Service estimates are EWMA-smoothed observations of completed batches,
+split into a per-request cost and a per-batch overhead so the projection
+tracks the batcher's actual coalescing.
+"""
+
+from __future__ import annotations
+
+
+from repro.serve.types import REJECT_DEADLINE, REJECT_QUEUE, Request
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Arrival-time accept/reject decisions with smoothed projections."""
+
+    #: EWMA smoothing factor for service-time observations
+    ALPHA = 0.3
+
+    def __init__(
+        self,
+        queue_budget: int,
+        max_batch: int,
+        reject_infeasible: bool = True,
+    ):
+        self.queue_budget = queue_budget
+        self.max_batch = max_batch
+        self.reject_infeasible = reject_infeasible
+        #: EWMA of modelled makespan per request within a batch
+        self._per_request_us: float | None = None
+        #: rejections by reason
+        self.rejections: dict[str, int] = {}
+
+    # -- observation -----------------------------------------------------------
+
+    def observe_batch(self, batch_size: int, makespan_us: float) -> None:
+        """Fold one completed batch into the service estimate."""
+        if batch_size <= 0:
+            return
+        sample = makespan_us / batch_size
+        if self._per_request_us is None:
+            self._per_request_us = sample
+        else:
+            self._per_request_us += self.ALPHA * (sample - self._per_request_us)
+
+    @property
+    def per_request_estimate_us(self) -> float | None:
+        return self._per_request_us
+
+    def batch_estimate_us(self, batch_size: int) -> float | None:
+        """Projected makespan of a batch of ``batch_size`` requests."""
+        if self._per_request_us is None:
+            return None
+        return self._per_request_us * max(1, batch_size)
+
+    def projected_wait_us(self, queue_len: int, device_backlog_us: float) -> float:
+        """Projected completion delay of the *next* arrival: the device's
+        remaining busy time, everything queued ahead of it, plus its own
+        service."""
+        est = self._per_request_us
+        if est is None:
+            return device_backlog_us
+        return device_backlog_us + (queue_len + 1) * est
+
+    # -- decision --------------------------------------------------------------
+
+    def admit(
+        self,
+        request: Request,
+        queue_len: int,
+        device_backlog_us: float,
+    ) -> str | None:
+        """``None`` to accept, else the rejection reason."""
+        if queue_len >= self.queue_budget:
+            return self._reject(REJECT_QUEUE)
+        if (
+            self.reject_infeasible
+            and request.deadline_us is not None
+            and self._per_request_us is not None
+        ):
+            projected = request.arrival_us + self.projected_wait_us(
+                queue_len, device_backlog_us
+            )
+            if projected > request.deadline_us:
+                return self._reject(REJECT_DEADLINE)
+        return None
+
+    def _reject(self, reason: str) -> str:
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        return reason
+
+    def as_dict(self) -> dict:
+        return {
+            "queue_budget": self.queue_budget,
+            "per_request_estimate_us": (
+                round(self._per_request_us, 3)
+                if self._per_request_us is not None
+                else None
+            ),
+            "rejections": dict(sorted(self.rejections.items())),
+        }

@@ -1,0 +1,110 @@
+"""Dynamic batching: coalesce pending frames into pipeline batches.
+
+ForOpenCL's boundary-transfer argument (PAPERS.md) applies directly to
+serving: many small device rounds waste transfer setup that one larger
+round amortises, and the three-engine scheduler overlaps more work the
+deeper the batch.  The batcher therefore holds arrivals briefly and
+flushes on whichever trigger fires first:
+
+* **size** — ``max_batch`` requests are pending (a full device round);
+* **deadline slack** — waiting any longer would make the *oldest*
+  pending request miss its deadline, given the current batch-service
+  estimate;
+* **wait bound** — the oldest request has waited ``max_wait_us``
+  (bounds latency for deadline-less traffic).
+
+The flush decision is pure bookkeeping (no awaits); the broker's service
+loop races :meth:`next_flush_at_us` against new arrivals on the virtual
+clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.serve.types import Request
+
+__all__ = ["DynamicBatcher", "PendingEntry"]
+
+
+class PendingEntry:
+    """A queued request and the future its client awaits."""
+
+    __slots__ = ("request", "future")
+
+    def __init__(self, request: Request, future):
+        self.request = request
+        self.future = future
+
+
+class DynamicBatcher:
+    """Deadline-aware coalescing queue."""
+
+    def __init__(self, max_batch: int, max_wait_us: float, safety_us: float = 0.0):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        #: headroom subtracted from deadline-driven flush times
+        self.safety_us = safety_us
+        self.pending: deque[PendingEntry] = deque()
+        #: peak queue depth observed
+        self.depth_high_water = 0
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    def push(self, entry: PendingEntry) -> None:
+        self.pending.append(entry)
+        self.depth_high_water = max(self.depth_high_water, len(self.pending))
+
+    def queued_arrivals_us(self) -> list[float]:
+        return [e.request.arrival_us for e in self.pending]
+
+    # -- flush policy ----------------------------------------------------------
+
+    def _deadline_flush_at_us(self, est_service_us: float | None) -> float:
+        """Latest start keeping every pending deadline feasible."""
+        est = est_service_us or 0.0
+        at = float("inf")
+        for e in self.pending:
+            if e.request.deadline_us is not None:
+                at = min(at, e.request.deadline_us - est - self.safety_us)
+        return at
+
+    def next_flush_at_us(self, est_service_us: float | None) -> float:
+        """Virtual time at which a flush becomes due (``-inf`` = now)."""
+        if not self.pending:
+            return float("inf")
+        if len(self.pending) >= self.max_batch:
+            return float("-inf")
+        oldest = self.pending[0].request.arrival_us
+        return min(oldest + self.max_wait_us, self._deadline_flush_at_us(est_service_us))
+
+    def flush_ready(self, now_us: float, est_service_us: float | None) -> bool:
+        return bool(self.pending) and self.next_flush_at_us(est_service_us) <= now_us
+
+    # -- draining --------------------------------------------------------------
+
+    def expire(self, now_us: float) -> list[PendingEntry]:
+        """Remove requests whose deadline already passed while queued.
+
+        Serving them would burn a device round on answers the client
+        must discard; the broker returns them as ``missed`` instead.
+        """
+        live: deque[PendingEntry] = deque()
+        expired: list[PendingEntry] = []
+        for e in self.pending:
+            if e.request.deadline_us is not None and e.request.deadline_us < now_us:
+                expired.append(e)
+            else:
+                live.append(e)
+        self.pending = live
+        return expired
+
+    def take(self) -> list[PendingEntry]:
+        """Pop the next batch (oldest first, up to ``max_batch``)."""
+        batch = []
+        while self.pending and len(batch) < self.max_batch:
+            batch.append(self.pending.popleft())
+        return batch

@@ -1,0 +1,111 @@
+"""Deterministic virtual time for the asyncio serving tier.
+
+Every duration in the runtime is *modelled* (microseconds of simulated
+GTX 480 time), so the serving broker must not sleep on the wall clock:
+a load sweep that really waited out its inter-arrival gaps would take
+minutes and produce timings polluted by host jitter.  :class:`VirtualClock`
+gives the broker asyncio-compatible ``sleep``/``sleep_until`` primitives
+on a simulated microsecond axis:
+
+* tasks suspend on :meth:`sleep`; the waiter lands in a time-ordered heap
+  (FIFO-stable via a sequence tie-break, so equal wake times resolve
+  deterministically);
+* :meth:`drive` runs a scenario coroutine to completion — it lets the
+  event loop quiesce (all ready callbacks run), then pops the earliest
+  waiter, advances ``now_us`` to its wake time and releases it;
+* time therefore jumps instantly between events: a 300-request sweep at
+  50 rps finishes in milliseconds of wall time but six seconds of
+  virtual time, and two runs of the same scenario interleave identically.
+
+Cancelled sleepers (the batcher races its flush timer against new
+arrivals) are discarded without advancing time.  A scenario that is
+still pending with no timers left is reported as a stall instead of
+hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Awaitable, TypeVar
+
+from repro.errors import ReproError
+
+__all__ = ["VirtualClock"]
+
+T = TypeVar("T")
+
+
+class VirtualClock:
+    """Simulated-microsecond time source driving an asyncio event loop."""
+
+    #: event-loop iterations granted between time advances; bounds the
+    #: depth of wake-up chains (future resolved -> client resumes ->
+    #: submits -> broker admits -> batcher wakes) that may run "within"
+    #: one virtual instant
+    QUIESCE_ROUNDS = 24
+
+    def __init__(self, start_us: float = 0.0):
+        self._now_us = float(start_us)
+        #: heap of (wake_us, seq, future)
+        self._waiters: list[tuple[float, int, asyncio.Future]] = []
+        self._seq = itertools.count()
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    async def sleep(self, delay_us: float) -> None:
+        """Suspend the calling task for ``delay_us`` of virtual time."""
+        await self.sleep_until(self._now_us + max(0.0, delay_us))
+
+    async def sleep_until(self, at_us: float) -> None:
+        """Suspend until the virtual clock reaches ``at_us``."""
+        if at_us <= self._now_us:
+            # already due: yield once so same-instant wakeups stay ordered
+            await asyncio.sleep(0)
+            return
+        fut = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._waiters, (at_us, next(self._seq), fut))
+        await fut
+
+    async def _quiesce(self) -> None:
+        for _ in range(self.QUIESCE_ROUNDS):
+            await asyncio.sleep(0)
+
+    async def drive(self, scenario: Awaitable[T]) -> T:
+        """Run ``scenario`` to completion, advancing virtual time as needed."""
+        task = asyncio.ensure_future(scenario)
+        try:
+            while True:
+                await self._quiesce()
+                if task.done():
+                    break
+                # drop sleepers whose future was cancelled (lost races)
+                while self._waiters and self._waiters[0][2].done():
+                    heapq.heappop(self._waiters)
+                if not self._waiters:
+                    await self._quiesce()
+                    if task.done():
+                        break
+                    if not self._waiters:
+                        task.cancel()
+                        raise ReproError(
+                            "virtual clock stalled: the scenario is still "
+                            "pending but no task is sleeping on the clock "
+                            "(a coroutine awaits something that will never "
+                            "resolve)"
+                        )
+                    continue
+                at_us, _, fut = heapq.heappop(self._waiters)
+                self._now_us = max(self._now_us, at_us)
+                fut.set_result(None)
+        finally:
+            if not task.done():
+                task.cancel()
+        return task.result()
+
+    def run(self, scenario: Awaitable[T]) -> T:
+        """``asyncio.run`` the scenario under this clock."""
+        return asyncio.run(self.drive(scenario))

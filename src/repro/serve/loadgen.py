@@ -1,0 +1,130 @@
+"""Closed- and open-loop load generation against a :class:`ServeBroker`.
+
+Two canonical client models (Schroeder et al.'s distinction):
+
+* **open loop** — arrivals follow the offered rate regardless of
+  completions (think: the internet).  Overload manifests as queue
+  growth, so this is the model that exercises admission control and
+  degradation.  Inter-arrival gaps are deterministic (``1/rate``) by
+  default or exponential with a seeded generator (``jitter_seed``) —
+  either way a run is exactly reproducible.
+* **closed loop** — each of N clients keeps exactly one request in
+  flight (submit, await, think, repeat), so offered load self-throttles
+  to system capacity.  This is the model for "what can it sustain"
+  capacity probes.
+
+Both run entirely on the broker's virtual clock; ``run_open_loop`` /
+``run_closed_loop`` wrap the whole lifecycle (start, generate, drain,
+stop) into one synchronous call returning ``(responses, report)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.serve.broker import ServeBroker, ServingReport
+from repro.serve.types import Response
+
+__all__ = [
+    "open_loop",
+    "closed_loop",
+    "run_open_loop",
+    "run_closed_loop",
+    "estimate_capacity_rps",
+]
+
+
+def _tenant(i: int, tenants: int) -> str:
+    return f"tenant-{i % max(1, tenants)}"
+
+
+async def open_loop(
+    broker: ServeBroker,
+    *,
+    rate_rps: float,
+    requests: int,
+    tenants: int = 1,
+    deadline_us: float | None = None,
+    jitter_seed: int | None = None,
+    start_frame: int = 0,
+) -> list[Response]:
+    """Fire ``requests`` arrivals at ``rate_rps`` without waiting for replies."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    rng = None if jitter_seed is None else np.random.default_rng(jitter_seed)
+    mean_gap_us = 1e6 / rate_rps
+    tasks: list[asyncio.Task] = []
+    for i in range(requests):
+        tasks.append(asyncio.ensure_future(broker.submit(
+            _tenant(i, tenants), frame=start_frame + i, deadline_us=deadline_us,
+        )))
+        gap = mean_gap_us if rng is None else rng.exponential(mean_gap_us)
+        if i + 1 < requests:
+            await broker.clock.sleep(gap)
+    return list(await asyncio.gather(*tasks))
+
+
+async def closed_loop(
+    broker: ServeBroker,
+    *,
+    clients: int,
+    requests_per_client: int,
+    deadline_us: float | None = None,
+    think_us: float = 0.0,
+) -> list[Response]:
+    """``clients`` generators, each keeping one request in flight."""
+
+    async def client(c: int) -> list[Response]:
+        mine: list[Response] = []
+        for k in range(requests_per_client):
+            frame = c * requests_per_client + k
+            mine.append(await broker.submit(
+                _tenant(c, clients), frame=frame, deadline_us=deadline_us,
+            ))
+            if think_us > 0:
+                await broker.clock.sleep(think_us)
+        return mine
+
+    nested = await asyncio.gather(*[client(c) for c in range(clients)])
+    return [r for batch in nested for r in batch]
+
+
+def run_open_loop(broker: ServeBroker, **kwargs) -> tuple[list[Response], ServingReport]:
+    """Full open-loop lifecycle on the broker's virtual clock."""
+
+    async def scenario():
+        await broker.start()
+        responses = await open_loop(broker, **kwargs)
+        report = await broker.stop()
+        return responses, report
+
+    return broker.clock.run(scenario())
+
+
+def run_closed_loop(broker: ServeBroker, **kwargs) -> tuple[list[Response], ServingReport]:
+    """Full closed-loop lifecycle on the broker's virtual clock."""
+
+    async def scenario():
+        await broker.start()
+        responses = await closed_loop(broker, **kwargs)
+        report = await broker.stop()
+        return responses, report
+
+    return broker.clock.run(scenario())
+
+
+def estimate_capacity_rps(broker_factory, batch: int, probe_requests: int = None) -> float:
+    """Peak sustainable rate: a closed-loop probe at full batching.
+
+    ``broker_factory`` builds a fresh broker (the probe consumes one);
+    the estimate is the probe's goodput with ``batch`` clients keeping
+    the device saturated.
+    """
+    probe = broker_factory()
+    n = probe_requests if probe_requests is not None else max(4, 4 * batch)
+    _, report = run_closed_loop(
+        probe, clients=batch, requests_per_client=max(1, n // max(1, batch))
+    )
+    return report.goodput_rps

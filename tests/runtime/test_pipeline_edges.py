@@ -1,0 +1,73 @@
+"""FramePipeline edge cases: empty jobs, minimal depth, cache churn."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.downscaler.config import FrameSize
+from repro.apps.downscaler.serving import GaspardDownscalerJob
+from repro.runtime import FramePipeline
+
+TINY = FrameSize(18, 16, "tiny")
+
+
+def test_zero_frames_reports_cleanly():
+    pipe = FramePipeline()
+    report = pipe.run(GaspardDownscalerJob(TINY), frames=0)
+    assert report.frames == 0
+    assert report.instances == 0
+    assert report.frames_per_second == 0.0
+    assert report.latency_p50_us == 0.0
+    assert report.cache.lookups == 0  # nothing was even compiled
+    assert report.engine_busy_us == {}
+    assert report.validated_instances == 0
+    assert report.speedup == 1.0
+
+
+def test_negative_frames_rejected():
+    with pytest.raises(ValueError, match="frames must be >= 0"):
+        FramePipeline().run(GaspardDownscalerJob(TINY), frames=-1)
+
+
+def test_depth_one_still_serves_and_validates():
+    pipe = FramePipeline(depth=1, validate="all")
+    report = pipe.run(GaspardDownscalerJob(TINY), frames=3)
+    assert report.frames == 3
+    assert report.depth == 1
+    assert report.validated_instances == 3
+    assert report.frames_per_second > 0
+    # depth 1 cannot double-buffer: overlap never beats two slots
+    deeper = FramePipeline(depth=2, validate="none").run(
+        GaspardDownscalerJob(TINY), frames=3
+    )
+    assert deeper.overlapped_us <= report.overlapped_us
+
+
+class _CacheClearingJob(GaspardDownscalerJob):
+    """Simulates a mid-stream recompile: the cache is wiped between
+    frames (a config push, a new kernel revision) while the stream keeps
+    flowing."""
+
+    def __init__(self, *args, clear_on: int = 3, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.clear_on = clear_on
+        self.compile_calls = 0
+
+    def compile(self, cache):
+        self.compile_calls += 1
+        if self.compile_calls == self.clear_on:
+            cache.clear()
+        return super().compile(cache)
+
+
+def test_mid_stream_cache_invalidation_recompiles_and_serves():
+    pipe = FramePipeline()
+    job = _CacheClearingJob(TINY, clear_on=3)
+    report = pipe.run(job, frames=5)
+    assert report.frames == 5
+    assert report.validated_instances == 1
+    # frame 0 misses, frame 1 hits, frame 2 wipes then misses, 3-4 hit
+    assert report.cache.misses == 2
+    assert report.cache.hits == 3
+    assert report.cache.invalidations >= 1
+    assert report.frames_per_second > 0

@@ -1,0 +1,49 @@
+"""Shared fixtures for the serving-tier tests.
+
+Frame sizes here are *tiny* (the smallest legal tiler geometries: rows a
+multiple of 9, cols a multiple of 8), so functional execution of every
+served request stays cheap enough for property tests.  Compiled programs
+are shared through one package-scoped :class:`CompileCache` — broker
+construction per test stays O(1) after the first compile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.downscaler.config import FrameSize
+from repro.apps.downscaler.serving import downscaler_job
+from repro.runtime.cache import CompileCache
+from repro.serve import ServeBroker, ServeConfig
+
+#: smallest sizes the downscaler's tilers accept
+TINY = FrameSize(18, 16, "tiny")
+TINIER = FrameSize(9, 8, "tinier")
+
+
+@pytest.fixture(scope="package")
+def shared_cache():
+    return CompileCache()
+
+
+@pytest.fixture(scope="package")
+def broker_factory(shared_cache):
+    """Build a fresh broker over tiny jobs (shared compiled programs)."""
+
+    def make(
+        route: str = "gaspard",
+        config: ServeConfig | None = None,
+        degraded: bool = True,
+        **broker_kw,
+    ) -> ServeBroker:
+        job = downscaler_job(route, size=TINY)
+        degraded_job = downscaler_job(route, size=TINIER) if degraded else None
+        return ServeBroker(
+            job,
+            config if config is not None else ServeConfig(),
+            degraded_job=degraded_job,
+            cache=shared_cache,
+            **broker_kw,
+        )
+
+    return make

@@ -1,0 +1,73 @@
+"""Admission control: queue budget, deadline feasibility, EWMA estimates."""
+
+from __future__ import annotations
+
+from repro.serve import AdmissionController, Request
+from repro.serve.types import REJECT_DEADLINE, REJECT_QUEUE
+
+
+def _req(rid=0, arrival=0.0, deadline=None):
+    return Request(
+        rid=rid, tenant="t", frame=rid, arrival_us=arrival,
+        deadline_us=deadline,
+    )
+
+
+def test_accepts_within_budget():
+    ac = AdmissionController(queue_budget=2, max_batch=4)
+    assert ac.admit(_req(), queue_len=0, device_backlog_us=0.0) is None
+    assert ac.admit(_req(1), queue_len=1, device_backlog_us=0.0) is None
+
+
+def test_queue_budget_rejects_at_cap():
+    ac = AdmissionController(queue_budget=2, max_batch=4)
+    assert ac.admit(_req(), queue_len=2, device_backlog_us=0.0) == REJECT_QUEUE
+    assert ac.rejections[REJECT_QUEUE] == 1
+
+
+def test_no_deadline_rejection_before_estimates_exist():
+    # a cold controller has no service estimate: deadlines are admitted
+    # optimistically rather than guessed at
+    ac = AdmissionController(queue_budget=8, max_batch=4)
+    assert ac.admit(_req(deadline=1.0), queue_len=0, device_backlog_us=0.0) is None
+
+
+def test_infeasible_deadline_rejected_once_estimates_exist():
+    ac = AdmissionController(queue_budget=64, max_batch=4)
+    ac.observe_batch(4, 4000.0)  # 1000 us per request
+    # projected wait = backlog + (queue_len + 1) * est = 5000 + 3000
+    assert (
+        ac.admit(_req(arrival=0.0, deadline=2000.0), queue_len=2,
+                 device_backlog_us=5000.0)
+        == REJECT_DEADLINE
+    )
+    # the same request with a generous deadline is admitted
+    assert (
+        ac.admit(_req(arrival=0.0, deadline=20_000.0), queue_len=2,
+                 device_backlog_us=5000.0)
+        is None
+    )
+
+
+def test_reject_infeasible_can_be_disabled():
+    ac = AdmissionController(queue_budget=64, max_batch=4, reject_infeasible=False)
+    ac.observe_batch(1, 10_000.0)
+    assert ac.admit(_req(deadline=1.0), queue_len=10, device_backlog_us=1e6) is None
+
+
+def test_ewma_tracks_observations():
+    ac = AdmissionController(queue_budget=8, max_batch=4)
+    ac.observe_batch(2, 2000.0)
+    assert ac.per_request_estimate_us == 1000.0
+    ac.observe_batch(2, 4000.0)
+    # EWMA with alpha 0.3: 1000 + 0.3 * (2000 - 1000)
+    assert ac.per_request_estimate_us == 1300.0
+    assert ac.batch_estimate_us(4) == 5200.0
+
+
+def test_as_dict_reports_counters():
+    ac = AdmissionController(queue_budget=1, max_batch=4)
+    ac.admit(_req(), queue_len=1, device_backlog_us=0.0)
+    doc = ac.as_dict()
+    assert doc["queue_budget"] == 1
+    assert doc["rejections"] == {REJECT_QUEUE: 1}

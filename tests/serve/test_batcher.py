@@ -1,0 +1,83 @@
+"""Dynamic batcher: flush triggers, expiry, draining order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import DynamicBatcher, PendingEntry, Request
+
+
+def _entry(rid=0, arrival=0.0, deadline=None):
+    return PendingEntry(
+        Request(rid=rid, tenant="t", frame=rid, arrival_us=arrival,
+                deadline_us=deadline),
+        future=None,
+    )
+
+
+def test_empty_queue_never_flushes():
+    b = DynamicBatcher(max_batch=4, max_wait_us=100.0)
+    assert b.next_flush_at_us(None) == float("inf")
+    assert not b.flush_ready(1e9, None)
+
+
+def test_full_batch_flushes_immediately():
+    b = DynamicBatcher(max_batch=2, max_wait_us=1e6)
+    b.push(_entry(0))
+    b.push(_entry(1))
+    assert b.next_flush_at_us(None) == float("-inf")
+    assert b.flush_ready(0.0, None)
+
+
+def test_wait_bound_drives_flush_time():
+    b = DynamicBatcher(max_batch=8, max_wait_us=100.0)
+    b.push(_entry(0, arrival=50.0))
+    assert b.next_flush_at_us(None) == 150.0
+    assert not b.flush_ready(149.0, None)
+    assert b.flush_ready(150.0, None)
+
+
+def test_deadline_slack_flushes_before_wait_bound():
+    b = DynamicBatcher(max_batch=8, max_wait_us=10_000.0)
+    b.push(_entry(0, arrival=0.0, deadline=500.0))
+    # with a 300 us service estimate the batch must start by 200
+    assert b.next_flush_at_us(300.0) == 200.0
+
+
+def test_safety_margin_subtracts_from_deadline_flush():
+    b = DynamicBatcher(max_batch=8, max_wait_us=10_000.0, safety_us=50.0)
+    b.push(_entry(0, arrival=0.0, deadline=500.0))
+    assert b.next_flush_at_us(300.0) == 150.0
+
+
+def test_expire_removes_only_lapsed_deadlines():
+    b = DynamicBatcher(max_batch=8, max_wait_us=1e6)
+    b.push(_entry(0, deadline=100.0))
+    b.push(_entry(1))  # best effort: never expires
+    b.push(_entry(2, deadline=900.0))
+    lapsed = b.expire(500.0)
+    assert [e.request.rid for e in lapsed] == [0]
+    assert [e.request.rid for e in b.pending] == [1, 2]
+
+
+def test_take_pops_oldest_first_up_to_max_batch():
+    b = DynamicBatcher(max_batch=2, max_wait_us=1e6)
+    for rid in range(5):
+        b.push(_entry(rid))
+    assert [e.request.rid for e in b.take()] == [0, 1]
+    assert [e.request.rid for e in b.take()] == [2, 3]
+    assert [e.request.rid for e in b.take()] == [4]
+    assert b.take() == []
+
+
+def test_depth_high_water_tracks_peak():
+    b = DynamicBatcher(max_batch=2, max_wait_us=1e6)
+    for rid in range(3):
+        b.push(_entry(rid))
+    b.take()
+    assert b.depth_high_water == 3
+
+
+def test_invalid_max_batch_rejected():
+    with pytest.raises(ValueError):
+        DynamicBatcher(max_batch=0, max_wait_us=1.0)

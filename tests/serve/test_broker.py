@@ -1,0 +1,215 @@
+"""End-to-end broker behaviour over real (tiny) downscaler jobs."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.apps.downscaler import reference
+from repro.apps.downscaler.video import channels_of, synthetic_frame
+from repro.errors import ReproError
+from repro.runtime.pipeline import PipelineJob
+from repro.serve import (
+    REJECT_QUOTA,
+    STATUS_OK,
+    ServeBroker,
+    ServeConfig,
+    open_loop,
+    run_closed_loop,
+    run_open_loop,
+)
+from tests.serve.conftest import TINY
+
+
+def test_low_load_serves_everything_bit_exact(broker_factory):
+    broker = broker_factory(config=ServeConfig(execute="all"))
+    responses, report = run_open_loop(
+        broker, rate_rps=500.0, requests=12, tenants=3
+    )
+    assert report.offered == 12
+    assert report.rejected == 0
+    assert report.completed_ok == 12
+    assert report.validated == 12
+    assert all(r.ok and r.validated for r in responses)
+    # independently recompute one golden: the broker's outputs are the
+    # reference downscale of the synthetic frame it was asked for
+    r = responses[5]
+    chan = channels_of(synthetic_frame(TINY, r.request.frame))["g"]
+    want = reference.downscale_frame(chan, TINY)
+    assert np.array_equal(r.outputs["out_g"], want)
+
+
+def test_closed_loop_self_throttles_to_all_ok(broker_factory):
+    broker = broker_factory(config=ServeConfig(execute="none"))
+    responses, report = run_closed_loop(
+        broker, clients=4, requests_per_client=5
+    )
+    assert report.offered == 20
+    assert report.completed_ok == 20
+    assert report.rejected == 0
+    assert report.goodput_rps > 0
+
+
+def test_quota_rejects_burst_but_not_other_tenants(broker_factory):
+    config = ServeConfig(
+        execute="none", quota_capacity=2.0, quota_refill_per_s=0.0
+    )
+    broker = broker_factory(config=config)
+
+    async def scenario():
+        await broker.start()
+        tasks = [
+            asyncio.ensure_future(broker.submit("greedy", frame=i))
+            for i in range(6)
+        ]
+        tasks += [
+            asyncio.ensure_future(broker.submit("modest", frame=10 + i))
+            for i in range(2)
+        ]
+        responses = await asyncio.gather(*tasks)
+        report = await broker.stop()
+        return responses, report
+
+    responses, report = broker.clock.run(scenario())
+    greedy = [r for r in responses if r.request.tenant == "greedy"]
+    modest = [r for r in responses if r.request.tenant == "modest"]
+    assert sum(r.rejected for r in greedy) == 4
+    assert all(r.reason == REJECT_QUOTA for r in greedy if r.rejected)
+    assert all(r.ok for r in modest)
+    assert report.per_tenant["greedy"]["rejected"] == 4
+    assert report.per_tenant["modest"]["ok"] == 2
+    assert broker.quota.conserves()
+
+
+def test_batches_form_under_pressure(broker_factory):
+    broker = broker_factory(config=ServeConfig(execute="none", max_batch=8))
+    _responses, report = run_open_loop(
+        broker, rate_rps=200_000.0, requests=48
+    )
+    assert report.completed_ok == 48
+    assert report.batch_size_max > 1
+    assert report.batch_size_mean > 1.0
+    assert report.batches < 48  # coalescing actually happened
+
+
+def test_missed_deadlines_never_reported_ok(broker_factory):
+    broker = broker_factory(
+        config=ServeConfig(execute="none", queue_budget=16)
+    )
+    responses, report = run_open_loop(
+        broker, rate_rps=100_000.0, requests=60, deadline_us=1500.0
+    )
+    for r in responses:
+        if r.status == STATUS_OK:
+            assert r.finish_us <= r.request.deadline_us
+    # overload with tight deadlines must shed load one way or another
+    assert report.rejected + report.completed_missed > 0
+    assert report.offered == 60
+
+
+def test_degradation_engages_and_recovers(broker_factory):
+    config = ServeConfig(
+        execute="none",
+        slo_us=1000.0,
+        queue_budget=128,
+        latency_window=16,
+        degrade_enter=2,
+        degrade_exit=3,
+    )
+    broker = broker_factory(config=config)
+
+    async def scenario():
+        await broker.start()
+        burst = await open_loop(broker, rate_rps=100_000.0, requests=60)
+        trickle = await open_loop(
+            broker, rate_rps=50.0, requests=40, start_frame=60
+        )
+        report = await broker.stop()
+        return burst + trickle, report
+
+    responses, report = broker.clock.run(scenario())
+    assert report.degraded_served > 0
+    for r in responses:
+        if r.degraded:
+            assert r.served_size == "tinier"
+    # at least one round trip of the state machine: in and back out
+    assert report.degrade_transitions >= 2
+    assert report.degrade["state"] == "normal"
+
+
+def test_batch_members_complete_in_schedule_order(broker_factory):
+    broker = broker_factory(config=ServeConfig(execute="none", max_batch=8))
+    responses, report = run_open_loop(
+        broker, rate_rps=200_000.0, requests=24
+    )
+    by_batch: dict[int, list] = {}
+    for r in responses:
+        by_batch.setdefault(r.batch_id, []).append(r)
+    multi = [b for b in by_batch.values() if len(b) > 1]
+    assert multi, "expected at least one coalesced batch"
+    for members in multi:
+        members.sort(key=lambda r: r.request.rid)
+        finishes = [m.finish_us for m in members]
+        assert finishes == sorted(finishes)
+        assert all(m.finish_us >= m.start_us for m in members)
+        assert len({m.batch_id for m in members}) == 1
+
+
+def test_submit_outside_lifecycle_raises(broker_factory):
+    broker = broker_factory()
+
+    async def before_start():
+        await broker.submit("t", frame=0)
+
+    with pytest.raises(ReproError, match="not started"):
+        broker.clock.run(before_start())
+
+    broker2 = broker_factory()
+
+    async def after_stop():
+        await broker2.start()
+        await broker2.stop()
+        await broker2.submit("t", frame=0)
+
+    with pytest.raises(ReproError, match="stopped"):
+        broker2.clock.run(after_stop())
+
+
+def test_metrics_registry_sees_the_run(broker_factory):
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    broker = broker_factory(
+        config=ServeConfig(execute="none"), registry=reg
+    )
+    run_open_loop(broker, rate_rps=1000.0, requests=8, tenants=2)
+    doc = reg.as_dict()
+    ok_series = [
+        k for k in doc
+        if k.startswith("repro_serve_requests_total") and 'status="ok"' in k
+    ]
+    assert sum(doc[k] for k in ok_series) == 8
+    assert any(k.startswith("repro_serve_batch_size") for k in doc)
+    assert "repro_serve_queue_depth" in doc
+
+
+def test_service_loop_failure_fails_waiting_clients():
+    class BrokenJob(PipelineJob):
+        name = "broken"
+        instances_per_frame = 1
+
+        def compile(self, cache):
+            raise ReproError("compiler exploded")
+
+    broker = ServeBroker(BrokenJob(), ServeConfig(execute="none"))
+
+    async def scenario():
+        await broker.start()
+        with pytest.raises(ReproError, match="serve loop failed"):
+            await broker.submit("t", frame=0)
+        # collect the loop task's exception so nothing leaks
+        await asyncio.gather(broker._loop_task, return_exceptions=True)
+
+    broker.clock.run(scenario())

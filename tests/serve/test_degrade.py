@@ -1,0 +1,79 @@
+"""Degradation state machine: hysteresis on both edges, dead band."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import DEGRADED, NORMAL, DegradeController
+
+
+def _ctl(**kw):
+    defaults = dict(slo_us=1000.0, enter_breaches=3, exit_clears=2,
+                    recover_ratio=0.5, window=8)
+    defaults.update(kw)
+    return DegradeController(**defaults)
+
+
+def _breach(ctl, n, now=0.0):
+    """n evaluations whose projected p99 clearly exceeds the SLO."""
+    for _ in range(n):
+        ctl.record_latency(10 * ctl.slo_us)
+        ctl.evaluate(now, [], None)
+
+
+def _clear(ctl, n, now=0.0):
+    """n evaluations with every windowed latency far under recovery."""
+    for _ in range(n):
+        for _ in range(8):  # flood the window with good samples
+            ctl.record_latency(0.1 * ctl.slo_us)
+        ctl.evaluate(now, [], None)
+
+
+def test_enters_degraded_only_after_consecutive_breaches():
+    ctl = _ctl()
+    _breach(ctl, 2)
+    assert ctl.state == NORMAL
+    _breach(ctl, 1)
+    assert ctl.state == DEGRADED
+    assert [s for _, s, _ in ctl.transitions] == [DEGRADED]
+
+
+def test_recovers_only_after_consecutive_clears():
+    ctl = _ctl()
+    _breach(ctl, 3)
+    _clear(ctl, 1)
+    assert ctl.state == DEGRADED
+    _clear(ctl, 1)
+    assert ctl.state == NORMAL
+    assert [s for _, s, _ in ctl.transitions] == [DEGRADED, NORMAL]
+
+
+def test_dead_band_resets_both_streaks():
+    ctl = _ctl()
+    _breach(ctl, 2)
+    # land between recover_ratio*slo and slo: in the dead band
+    for _ in range(8):
+        ctl.record_latency(0.8 * ctl.slo_us)
+    ctl.evaluate(0.0, [], None)
+    _breach(ctl, 2)
+    assert ctl.state == NORMAL  # the streak restarted after the dead band
+    _breach(ctl, 1)
+    assert ctl.state == DEGRADED
+
+
+def test_projection_counts_queued_requests():
+    ctl = _ctl()
+    # nothing completed yet, but three requests queued for 5 ms each:
+    # the projection alone must breach
+    p99 = ctl.projected_p99_us(5000.0, [0.0, 0.0, 0.0], 100.0)
+    assert p99 > ctl.slo_us
+
+
+def test_empty_system_projects_zero():
+    ctl = _ctl()
+    assert ctl.projected_p99_us(0.0, [], None) == 0.0
+
+
+def test_invalid_recover_ratio_rejected():
+    with pytest.raises(ValueError):
+        DegradeController(slo_us=1.0, recover_ratio=0.0)

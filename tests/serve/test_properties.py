@@ -1,0 +1,118 @@
+"""Property tests (hypothesis): serving invariants under any interleaving.
+
+The serving tier adds batching, admission, quotas and degradation *around*
+the runtime — none of which may change what a completed response contains.
+For arbitrary tenant/gap/deadline interleavings:
+
+* every submit is answered exactly once;
+* every completed response's bytes equal the NumPy reference downscale of
+  the requested frame **at the size it was served** — dynamic batching and
+  degradation are invisible in the payload;
+* the quota ledger conserves tokens (capacity + refilled == consumed +
+  level per bucket).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.downscaler import reference
+from repro.apps.downscaler.config import FrameSize
+from repro.apps.downscaler.serving import downscaler_job
+from repro.apps.downscaler.video import channels_of, synthetic_frame
+from repro.runtime.cache import CompileCache
+from repro.serve import ServeBroker, ServeConfig
+
+TINY = FrameSize(18, 16, "tiny")
+TINIER = FrameSize(9, 8, "tinier")
+_SIZES = {"tiny": TINY, "tinier": TINIER}
+
+#: shared across examples so each broker reuses the compiled programs
+_CACHE = CompileCache()
+
+arrivals = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),        # tenant
+        st.integers(min_value=0, max_value=5_000),    # gap to next, us
+        st.one_of(                                    # relative deadline
+            st.none(), st.integers(min_value=300, max_value=50_000)
+        ),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _expected(frame: int, size: FrameSize) -> dict[str, np.ndarray]:
+    chans = channels_of(synthetic_frame(size, frame))
+    return {
+        f"out_{c}": reference.downscale_frame(chans[c], size) for c in "rgb"
+    }
+
+
+@given(plan=arrivals)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_serving_never_changes_response_bytes(plan):
+    config = ServeConfig(
+        execute="all",
+        max_batch=4,
+        slo_us=5_000.0,
+        queue_budget=8,
+        quota_capacity=4.0,
+        quota_refill_per_s=1000.0,
+        degrade_enter=1,
+        degrade_exit=1,
+        latency_window=8,
+    )
+    broker = ServeBroker(
+        downscaler_job("gaspard", size=TINY),
+        config,
+        degraded_job=downscaler_job("gaspard", size=TINIER),
+        cache=_CACHE,
+    )
+
+    async def scenario():
+        await broker.start()
+        tasks = []
+        for i, (tenant, gap_us, deadline_us) in enumerate(plan):
+            tasks.append(asyncio.ensure_future(broker.submit(
+                f"tenant-{tenant}", frame=i,
+                deadline_us=None if deadline_us is None else float(deadline_us),
+            )))
+            await broker.clock.sleep(float(gap_us))
+        responses = await asyncio.gather(*tasks)
+        report = await broker.stop()
+        return responses, report
+
+    responses, report = broker.clock.run(scenario())
+
+    # every submit answered exactly once
+    assert len(responses) == len(plan)
+    assert len({r.request.rid for r in responses}) == len(plan)
+    assert report.offered == len(plan)
+
+    for r in responses:
+        if r.outputs is None:
+            # rejected or expired unserved: no payload to check
+            assert r.rejected or r.status == "missed"
+            continue
+        # completed payloads are the reference downscale at the size the
+        # broker actually served (degraded or not) — bit for bit
+        served = _SIZES[r.served_size]
+        for name, want in _expected(r.request.frame, served).items():
+            assert np.array_equal(r.outputs[name], want)
+        assert r.validated
+
+    # the quota ledger balances for every tenant
+    assert broker.quota.conserves()
+    consumed = sum(b.consumed for b in broker.quota.buckets.values())
+    admitted = sum(1 for r in responses if r.reason != "quota")
+    assert consumed == admitted

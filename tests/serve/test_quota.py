@@ -1,0 +1,64 @@
+"""Token-bucket quotas: refill, denial, and the conservation ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import QuotaManager, TokenBucket
+
+
+def test_bucket_starts_full_and_drains():
+    b = TokenBucket(capacity=3.0, refill_per_s=0.0)
+    assert b.try_take(0.0)
+    assert b.try_take(0.0)
+    assert b.try_take(0.0)
+    assert not b.try_take(0.0)
+    assert b.denied == 1
+    assert b.conserves()
+
+
+def test_refill_restores_tokens_over_virtual_time():
+    b = TokenBucket(capacity=2.0, refill_per_s=1000.0)
+    assert b.try_take(0.0)
+    assert b.try_take(0.0)
+    assert not b.try_take(0.0)
+    # 1 ms at 1000 tokens/s refills exactly one token
+    assert b.try_take(1_000.0)
+    assert b.conserves()
+
+
+def test_refill_caps_at_capacity():
+    b = TokenBucket(capacity=2.0, refill_per_s=1000.0)
+    assert b.try_take(0.0)
+    # ten seconds would refill 10_000 tokens; only the headroom lands
+    b.try_take(10_000_000.0)
+    assert b.level <= b.capacity
+    assert b.conserves()
+
+
+def test_conservation_holds_through_mixed_traffic():
+    b = TokenBucket(capacity=5.0, refill_per_s=250.0)
+    now = 0.0
+    for i in range(200):
+        now += (i % 7) * 997.0
+        b.try_take(now, tokens=1.0)
+        assert b.conserves()
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=0.0, refill_per_s=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=1.0, refill_per_s=-1.0)
+
+
+def test_manager_isolates_tenants():
+    q = QuotaManager(capacity=1.0, refill_per_s=0.0)
+    assert q.try_take("a", 0.0)
+    assert not q.try_take("a", 0.0)
+    # tenant b owns its own bucket: a's exhaustion does not starve it
+    assert q.try_take("b", 0.0)
+    assert q.conserves()
+    doc = q.as_dict()
+    assert doc["a"]["denied"] == 1
+    assert doc["b"]["denied"] == 0

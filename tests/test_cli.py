@@ -137,7 +137,8 @@ def test_pipeline_json(capsys):
         ["pipeline", "--size", "cif", "--frames", "3", "--route", "sac", "--json"]
     ) == 0
     doc = json.loads(capsys.readouterr().out)
-    (route,) = doc["routes"]
+    (entry,) = doc["routes"]
+    route = entry["report"]
     assert route["job"] == "sac-nongeneric"
     assert route["frames"] == 3
     assert route["cache"] == {
@@ -145,6 +146,13 @@ def test_pipeline_json(capsys):
     }
     assert route["overlapped_us"] < route["serial_us"]
     assert route["engine_occupancy"]["h2d"] > 0
+    # each route entry carries a metrics-registry snapshot alongside
+    metrics = entry["metrics"]
+    assert (
+        round(metrics['repro_pipeline_frames_per_second{route="sac-nongeneric"}'], 3)
+        == route["frames_per_second"]
+    )
+    assert metrics['repro_pipeline_frames_total{route="sac-nongeneric"}'] == 3
 
 
 def test_pipeline_lint_certifies_hazards(capsys):
@@ -163,7 +171,8 @@ def test_pipeline_serialize_ablation(capsys):
         ["pipeline", "--size", "cif", "--frames", "2", "--route", "gaspard",
          "--serialize", "--no-validate", "--json"]
     ) == 0
-    (route,) = json.loads(capsys.readouterr().out)["routes"]
+    (entry,) = json.loads(capsys.readouterr().out)["routes"]
+    route = entry["report"]
     assert route["serialize"] is True
     assert route["overlapped_us"] == route["serial_us"]
     assert route["validated_instances"] == 0
@@ -356,8 +365,8 @@ def test_pipeline_trace_json_reports_path(tmp_path, capsys):
          "--trace", str(out), "--json"]
     ) == 0
     doc = json.loads(capsys.readouterr().out)
-    (route,) = doc["routes"]
-    assert route["trace"] == str(out)
+    (entry,) = doc["routes"]
+    assert entry["report"]["trace"] == str(out)
     assert out.exists()
 
 
@@ -369,8 +378,54 @@ def test_pipeline_opt_compares_baseline_and_optimised(capsys):
          "--opt", "--json"]
     ) == 0
     doc = json.loads(capsys.readouterr().out)
-    jobs = {r["job"]: r for r in doc["routes"]}
+    jobs = {e["report"]["job"]: e["report"] for e in doc["routes"]}
     assert set(jobs) == {"sac-nongeneric", "sac-nongeneric+opt"}
     opt = jobs["sac-nongeneric+opt"]
     assert opt["baseline_job"] == "sac-nongeneric"
     assert opt["fps_speedup_vs_baseline"] > 1.0
+
+
+# -- repro serve ---------------------------------------------------------------
+
+
+def test_serve_renders_report(capsys):
+    assert main(
+        ["serve", "--route", "gaspard", "--requests", "8", "--rate", "300",
+         "--no-execute"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "serve gaspard: 8 request(s)" in out
+    assert "goodput:" in out
+    assert "rejected:   0 (none)" in out
+
+
+def test_serve_json_pairs_report_and_metrics(capsys):
+    import json
+
+    assert main(
+        ["serve", "--route", "both", "--requests", "6", "--rate", "300",
+         "--no-execute", "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert len(doc["routes"]) == 2
+    jobs = set()
+    for entry in doc["routes"]:
+        report = entry["report"]
+        jobs.add(report["job"])
+        assert report["offered"] == 6
+        assert report["rejected"] == 0
+        label = f'route="{report["job"]}"'
+        assert round(
+            entry["metrics"][f"repro_serving_goodput_rps{{{label}}}"], 3
+        ) == report["goodput_rps"]
+    assert jobs == {"sac-nongeneric", "gaspard"}
+
+
+def test_serve_closed_loop_executes_bit_exact(capsys):
+    assert main(
+        ["serve", "--route", "gaspard", "--requests", "4", "--mode", "closed",
+         "--clients", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "completed:  4 ok" in out
+    assert "validated:  4 response(s) bit-exact vs golden" in out
