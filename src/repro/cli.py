@@ -282,10 +282,21 @@ def _cmd_overlap(args) -> int:
 
 
 def _render_pipeline_report(r) -> str:
-    occ = " | ".join(
-        f"{e} {100 * r.engine_occupancy.get(e, 0.0):.1f}%"
-        for e in ("h2d", "compute", "d2h")
-    )
+    fleet = getattr(r, "devices", 1) > 1
+    if fleet:
+        # namespaced engines: one h2d/compute/d2h triple per device
+        occ = " | ".join(
+            f"{name} " + "/".join(
+                f"{100 * r.engine_occupancy.get(f'{name}:{e}', 0.0):.0f}%"
+                for e in ("h2d", "compute", "d2h")
+            )
+            for name in sorted(r.per_device)
+        )
+    else:
+        occ = " | ".join(
+            f"{e} {100 * r.engine_occupancy.get(e, 0.0):.1f}%"
+            for e in ("h2d", "compute", "d2h")
+        )
     lines = [
         f"=== pipeline {r.job}: {r.frames} frames x "
         f"{r.instances // max(1, r.frames)} run(s) ({r.program or 'nothing compiled'}) ===",
@@ -301,6 +312,20 @@ def _render_pipeline_report(r) -> str:
         f"(paper claims ~50%)",
         f"  validated:  {r.validated_instances} run(s) bit-exact vs NumPy reference",
     ]
+    if fleet:
+        shares = ", ".join(
+            f"{name} {stats['frames']}f"
+            for name, stats in sorted(r.per_device.items())
+        )
+        mig = (
+            f", {r.migrations} migration(s) ({r.migration_us:.1f} us host-staged)"
+            if r.migrations else ""
+        )
+        lines.insert(
+            1,
+            f"  fleet:      {r.devices} device(s), {r.placement} placement: "
+            f"{shares}{mig}",
+        )
     return "\n".join(lines)
 
 
@@ -334,6 +359,8 @@ def _cmd_pipeline(args) -> int:
         depth=depth,
         serialize=args.serialize,
         validate="none" if args.no_validate else "first",
+        devices=args.devices,
+        placement=args.placement,
     )
 
     doc: dict = {"size": args.size, "frames": args.frames, "routes": []}
@@ -581,6 +608,7 @@ def _cmd_serve(args) -> int:
             queue_budget=args.queue_budget,
             depth=depth,
             execute="none" if args.no_execute else "all",
+            devices=args.devices,
         )
         reg = MetricsRegistry()
         broker = ServeBroker(job, config, degraded_job=degraded_job, registry=reg)
@@ -923,6 +951,16 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the bit-exact functional check",
     )
     p.add_argument(
+        "--devices", type=int, default=1,
+        help="size of the simulated device fleet to shard frames over",
+    )
+    p.add_argument(
+        "--placement",
+        choices=("round-robin", "least-loaded", "cache-affinity"),
+        default="round-robin",
+        help="frame-placement policy when --devices > 1",
+    )
+    p.add_argument(
         "--lint", action="store_true",
         help="race-check the unrolled pipeline (exit 1 on unexpected findings)",
     )
@@ -1037,6 +1075,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--max-batch", type=int, default=8,
         help="dynamic batcher flush size",
+    )
+    p.add_argument(
+        "--devices", type=int, default=1,
+        help="device fleet size; each batch dispatches to the first-free device",
     )
     p.add_argument(
         "--slo-ms", type=float, default=50.0,

@@ -21,6 +21,8 @@ it from the CLI.
 
 from repro.obs.chrometrace import (
     DEVICE_PID,
+    FLEET_HOST_PID,
+    FLEET_PID_BASE,
     TRACER_PID,
     assert_valid_chrome_trace,
     chrome_trace,
@@ -59,4 +61,5 @@ __all__ = [
     "chrome_trace", "schedule_events", "tracer_events", "write_chrome_trace",
     "validate_chrome_trace", "assert_valid_chrome_trace",
     "engine_busy_from_trace", "DEVICE_PID", "TRACER_PID",
+    "FLEET_PID_BASE", "FLEET_HOST_PID",
 ]

@@ -8,7 +8,9 @@ Perfetto JSON document (the trace-event format's JSON-object flavour):
   :class:`~repro.runtime.schedule.PipelineSchedule` becomes one complete
   (``"X"``) event on its engine's track (h2d / compute / d2h / host),
   coloured by frame, with flow (``"s"``/``"f"``) arrows along the
-  explicit ``deps`` edges;
+  explicit ``deps`` edges; a fleet schedule gets one track-group
+  (process) per device — ``d{k}:*`` engines on pid
+  ``FLEET_PID_BASE + k`` — plus a shared host-lane process;
 * the **host wall-clock span tree** of a :class:`~repro.obs.span.Tracer`
   — nested ``"B"``/``"E"`` events on a second process, so the
   compile → opt → schedule → execute phases sit next to the modelled
@@ -34,6 +36,8 @@ if TYPE_CHECKING:  # avoid a runtime.obs import cycle; hints only
 __all__ = [
     "DEVICE_PID",
     "TRACER_PID",
+    "FLEET_PID_BASE",
+    "FLEET_HOST_PID",
     "schedule_events",
     "tracer_events",
     "chrome_trace",
@@ -47,9 +51,33 @@ __all__ = [
 DEVICE_PID = 1
 #: pid of the host wall-clock span tree
 TRACER_PID = 2
+#: pid of the shared host lanes of a fleet schedule (``hl{l}:host``)
+FLEET_HOST_PID = 9
+#: fleet schedules get one track-group (process) per device: device ``k``'s
+#: ``d{k}:h2d|compute|d2h`` engines land on pid ``FLEET_PID_BASE + k``
+#: (offset past :data:`TRACER_PID` so the host span tree keeps its pid)
+FLEET_PID_BASE = 10
 
 #: fixed track order: one lane per engine, paper-style h2d/compute/d2h
 _ENGINE_TIDS = {"h2d": 1, "compute": 2, "d2h": 3, "host": 4}
+
+
+def _engine_track(engine: str) -> tuple[int, int]:
+    """(pid, tid) of one engine's track.
+
+    Legacy engine names (``h2d``/``compute``/``d2h``/``host``) stay on
+    :data:`DEVICE_PID`; fleet names (``d2:compute``, ``hl1:host``) spread
+    over one pid per device plus a shared host-lane process.
+    """
+    if ":" in engine:
+        prefix, _, kind = engine.partition(":")
+        if prefix[:1] == "d" and prefix[1:].isdigit():
+            return FLEET_PID_BASE + int(prefix[1:]), _ENGINE_TIDS.get(
+                kind, max(_ENGINE_TIDS.values()) + 1
+            )
+        if prefix[:2] == "hl" and prefix[2:].isdigit():
+            return FLEET_HOST_PID, int(prefix[2:]) + 1
+    return DEVICE_PID, _ENGINE_TIDS.get(engine, max(_ENGINE_TIDS.values()) + 1)
 
 #: chrome://tracing reserved colour names, cycled per frame
 _FRAME_COLOURS = (
@@ -80,23 +108,59 @@ def schedule_events(
     """
     if frame_batch <= 0:
         raise ValueError("frame_batch must be positive")
-    events: list[dict] = [
-        _meta(pid, "process_name", f"device schedule: {schedule.program}"),
-    ]
-    engines = [e for e in _ENGINE_TIDS if e in schedule.engines]
-    for engine in engines:
-        tid = _ENGINE_TIDS[engine]
-        events.append(_meta(pid, "thread_name", engine, tid=tid))
+    fleet = getattr(schedule, "devices", 1) > 1 or any(
+        ":" in e for e in schedule.engines
+    )
+
+    # track resolution: legacy engines collapse onto the caller's pid;
+    # fleet engines get one process (track-group) per device plus a
+    # shared host-lane process
+    def track(engine: str) -> tuple[int, int]:
+        fpid, tid = _engine_track(engine)
+        return (fpid if fleet else pid), tid
+
+    events: list[dict] = []
+    if fleet:
+        names: dict[int, str] = {}
+        for engine in schedule.engines:
+            fpid, _ = _engine_track(engine)
+            if fpid == FLEET_HOST_PID:
+                names.setdefault(fpid, "host lanes")
+            else:
+                names.setdefault(
+                    fpid,
+                    f"device d{fpid - FLEET_PID_BASE}: {schedule.program}",
+                )
+        for fpid in sorted(names):
+            events.append(_meta(fpid, "process_name", names[fpid]))
+            events.append(
+                {"ph": "M", "pid": fpid, "name": "process_sort_index",
+                 "args": {"sort_index": fpid}}
+            )
+        for engine in schedule.engines:
+            fpid, tid = _engine_track(engine)
+            events.append(_meta(fpid, "thread_name", engine, tid=tid))
+            events.append(
+                {"ph": "M", "pid": fpid, "tid": tid,
+                 "name": "thread_sort_index", "args": {"sort_index": tid}}
+            )
+    else:
         events.append(
-            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
-             "args": {"sort_index": tid}}
+            _meta(pid, "process_name", f"device schedule: {schedule.program}")
         )
+        for engine in (e for e in _ENGINE_TIDS if e in schedule.engines):
+            tid = _ENGINE_TIDS[engine]
+            events.append(_meta(pid, "thread_name", engine, tid=tid))
+            events.append(
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
+                 "args": {"sort_index": tid}}
+            )
 
     by_id = {n.id: n for n in schedule.nodes}
     flow_id = 0
     for node in schedule.nodes:
         frame = node.run // frame_batch
-        tid = _ENGINE_TIDS.get(node.engine, max(_ENGINE_TIDS.values()) + 1)
+        npid, tid = track(node.engine)
         events.append(
             {
                 "name": node.name,
@@ -104,13 +168,14 @@ def schedule_events(
                 "ph": "X",
                 "ts": node.start_us,
                 "dur": node.duration_us,
-                "pid": pid,
+                "pid": npid,
                 "tid": tid,
                 "cname": _FRAME_COLOURS[frame % len(_FRAME_COLOURS)],
                 "args": {
                     "node": node.id,
                     "run": node.run,
                     "frame": frame,
+                    "device": node.device,
                     "op_index": node.op_index,
                     "deps": list(node.deps),
                 },
@@ -122,13 +187,14 @@ def schedule_events(
             src = by_id.get(dep)
             if src is None:
                 continue
-            common = {"cat": "dep", "name": "dep", "pid": pid, "id": flow_id}
+            spid, stid = track(src.engine)
+            common = {"cat": "dep", "name": "dep", "id": flow_id}
             events.append(
-                {**common, "ph": "s", "tid": _ENGINE_TIDS.get(src.engine, 99),
+                {**common, "ph": "s", "pid": spid, "tid": stid,
                  "ts": src.end_us}
             )
             events.append(
-                {**common, "ph": "f", "bp": "e", "tid": tid,
+                {**common, "ph": "f", "bp": "e", "pid": npid, "tid": tid,
                  "ts": max(node.start_us, src.end_us)}
             )
             flow_id += 1
@@ -310,11 +376,17 @@ def assert_valid_chrome_trace(doc) -> None:
         )
 
 
-def engine_busy_from_trace(doc: dict, pid: int = DEVICE_PID) -> dict[str, float]:
-    """Per-engine busy totals recovered from a trace's device X slices."""
+def engine_busy_from_trace(doc: dict, pid: int | None = None) -> dict[str, float]:
+    """Per-engine busy totals recovered from a trace's device X slices.
+
+    Only device-schedule slices are ``X`` events (the tracer emits
+    B/E/i), so the default sums every device process — required for
+    fleet traces, where each device is its own pid.  Pass a pid to
+    restrict the totals to one track-group.
+    """
     out: dict[str, float] = {}
     for ev in doc.get("traceEvents", ()):
-        if ev.get("ph") == "X" and ev.get("pid") == pid:
+        if ev.get("ph") == "X" and (pid is None or ev.get("pid") == pid):
             cat = ev.get("cat", "")
             out[cat] = out.get(cat, 0.0) + float(ev.get("dur", 0.0))
     return out

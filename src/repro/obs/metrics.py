@@ -322,6 +322,19 @@ def collect_serving_report(reg: MetricsRegistry, report, **labels) -> None:
         ).set(count)
     reg.counter("repro_serving_degraded_total", **labels).set(report.degraded_served)
     reg.counter("repro_serving_batches_total", **labels).set(report.batches)
+    for device, stats in sorted(getattr(report, "per_device", {}).items()):
+        reg.gauge(
+            "repro_serving_device_busy_us", device=device, **labels
+        ).set(stats["busy_us"])
+        reg.gauge(
+            "repro_serving_device_utilisation", device=device, **labels
+        ).set(stats["utilisation"])
+        reg.counter(
+            "repro_serving_device_batches_total", device=device, **labels
+        ).set(stats["batches"])
+        reg.counter(
+            "repro_serving_device_frames_total", device=device, **labels
+        ).set(stats["frames"])
     reg.counter(
         "repro_serving_degrade_transitions_total", **labels
     ).set(report.degrade_transitions)

@@ -16,7 +16,11 @@ three engines (H2D copy, compute, D2H copy) actually could:
   frame server (compile -> upload -> launch -> download with
   double-buffering and throughput/latency metrics);
 * :mod:`repro.runtime.unroll` — pipeline unrolling for the static
-  analyses plus the hazard certification of the overlapped schedule.
+  analyses plus the hazard certification of the overlapped schedule;
+* :mod:`repro.runtime.fleet` — the device-fleet topology (K devices,
+  shared host lanes and PCIe staging channels) and the frame-placement
+  policies (round-robin / least-loaded / cache-affinity) behind
+  ``repro pipeline --devices K``.
 
 ``repro pipeline`` drives it from the CLI.
 """
@@ -29,6 +33,17 @@ from repro.runtime.cache import (
     sac_key,
 )
 from repro.runtime.executor import StreamExecutor, StreamRunResult
+from repro.runtime.fleet import (
+    CacheAffinityPlacement,
+    DeviceTopology,
+    FleetDevice,
+    FrameTicket,
+    LeastLoadedPlacement,
+    PlacementDecision,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    make_placement,
+)
 from repro.runtime.pipeline import FramePipeline, PipelineJob, PipelineReport
 from repro.runtime.schedule import (
     PipelineSchedule,
@@ -49,6 +64,9 @@ __all__ = [
     "StreamExecutor", "StreamRunResult",
     "CompileCache", "CacheStats", "sac_key", "gaspard_key", "canonical",
     "FramePipeline", "PipelineJob", "PipelineReport",
+    "DeviceTopology", "FleetDevice", "FrameTicket", "PlacementDecision",
+    "PlacementPolicy", "RoundRobinPlacement", "LeastLoadedPlacement",
+    "CacheAffinityPlacement", "make_placement",
     "unroll_pipeline", "UnrolledPipeline",
     "check_pipeline_hazards", "PipelineHazardReport", "ResolvedHazard",
 ]

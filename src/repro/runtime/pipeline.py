@@ -28,6 +28,7 @@ from repro.gpu.executor import GPUExecutor
 from repro.ir.program import AllocDevice, DeviceProgram, DeviceToHost, HostToDevice
 from repro.obs.span import Tracer, current_tracer, use_tracer
 from repro.runtime.cache import CacheStats, CompileCache
+from repro.runtime.fleet import DeviceTopology, FrameTicket, make_placement
 from repro.runtime.schedule import PipelineSchedule, build_schedule
 
 __all__ = ["PipelineJob", "PipelineReport", "FramePipeline"]
@@ -86,6 +87,12 @@ class PipelineReport:
     cache: CacheStats
     validated_instances: int
     schedule: PipelineSchedule = field(compare=False, default=None)
+    #: fleet shape (defaults describe the single-device pipeline)
+    devices: int = 1
+    placement: str = ""
+    per_device: dict = field(default_factory=dict)
+    migrations: int = 0
+    migration_us: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -113,7 +120,17 @@ class PipelineReport:
             "transfer_share_serial": round(self.transfer_share_serial, 4),
             "cache": self.cache.as_dict(),
             "validated_instances": self.validated_instances,
-        }
+        } | (
+            {
+                "devices": self.devices,
+                "placement": self.placement,
+                "per_device": self.per_device,
+                "migrations": self.migrations,
+                "migration_us": round(self.migration_us, 3),
+            }
+            if self.devices > 1
+            else {}
+        )
 
 
 class FramePipeline:
@@ -127,24 +144,54 @@ class FramePipeline:
         cache: CompileCache | None = None,
         validate: str = "first",
         tracer: Tracer | None = None,
+        devices: int = 1,
+        placement: str = "round-robin",
+        topology: DeviceTopology | None = None,
     ):
         if validate not in ("first", "all", "none"):
             raise ValueError(f"validate must be first/all/none, not {validate!r}")
-        self.executor = GPUExecutor(CostModel(params))
+        if devices < 1:
+            raise ValueError("devices must be >= 1")
+        if topology is not None:
+            self.topology = topology
+        elif devices > 1:
+            self.topology = DeviceTopology.build(devices, params)
+        else:
+            self.topology = None
+        if self.topology is not None:
+            if cache is not None:
+                raise ValueError(
+                    "a fleet pipeline compiles through per-device caches; "
+                    "an external cache cannot be shared across devices"
+                )
+            # device 0 fronts the fleet for single-executor consumers
+            self.executor = self.topology.device(0).executor
+            self.cache = self.topology.device(0).cache
+            self.placement_policy = make_placement(
+                placement, len(self.topology)
+            )
+        else:
+            self.executor = GPUExecutor(CostModel(params))
+            self.cache = cache if cache is not None else CompileCache()
+            self.placement_policy = None
         self.depth = depth
         self.serialize = serialize
-        self.cache = cache if cache is not None else CompileCache()
         self.validate = validate
         #: spans of every stage land here; ``None`` defers to the ambient
         #: tracer installed around :meth:`run` (disabled by default)
         self.tracer = tracer
 
+    @property
+    def devices(self) -> int:
+        return 1 if self.topology is None else len(self.topology)
+
     def _validate(self, job: PipelineJob, program: DeviceProgram, frame: int,
-                  instance: int) -> bool:
+                  instance: int, executor: GPUExecutor | None = None) -> bool:
         expected = job.golden(frame, instance, program)
         if expected is None:
             return False
-        result = self.executor.run(program, job.env(frame, instance))
+        runner = executor if executor is not None else self.executor
+        result = runner.run(program, job.env(frame, instance))
         for name, want in expected.items():
             got = result.outputs.get(name)
             if got is None or not np.array_equal(got, want):
@@ -182,8 +229,10 @@ class FramePipeline:
                 frames_per_second=0.0, latency_p50_us=0.0, latency_p95_us=0.0,
                 engine_busy_us={}, engine_occupancy={},
                 transfer_share_serial=0.0, cache=CacheStats(),
-                validated_instances=0,
+                validated_instances=0, devices=self.devices,
             )
+        if self.topology is not None:
+            return self._run_fleet(job, frames, tracer)
         before = self.cache.stats.snapshot()
 
         with tracer.span(
@@ -243,6 +292,143 @@ class FramePipeline:
             cache=cache_delta,
             validated_instances=validated,
             schedule=schedule,
+        )
+
+    @staticmethod
+    def _ticket_key(job: PipelineJob):
+        """Compile-cache identity of a job's frames for placement."""
+        size = getattr(getattr(job, "size", None), "name", "")
+        return (job.name, size)
+
+    def _run_fleet(
+        self, job: PipelineJob, frames: int, tracer: Tracer
+    ) -> PipelineReport:
+        """Shard the frame stream over the device topology.
+
+        Stage order matters: frames are *placed* before they are
+        compiled, because the placed device's compile cache is what the
+        frame compiles through — the per-device miss pattern is exactly
+        what the cache-affinity policy optimises.
+        """
+        topo = self.topology
+        policy = self.placement_policy
+        policy.new_batch()
+        # a batch boundary also re-bases every device's memory counters,
+        # so fleet peak-bytes/occupancy numbers never bleed across runs
+        topo.reset_stats()
+        before = [d.cache.stats.snapshot() for d in topo]
+        ipf = job.instances_per_frame
+
+        with tracer.span(
+            f"pipeline:{job.name}", category="pipeline", frames=frames,
+            devices=len(topo),
+        ) as pipe_span:
+            with tracer.span("placement-stage", category="pipeline-stage") as sp:
+                ticket_key = self._ticket_key(job)
+                decisions = [
+                    policy.place(FrameTicket(frame=f, cache_key=ticket_key))
+                    for f in range(frames)
+                ]
+                sp.set(policy=policy.name, devices=len(topo))
+
+            # compile stage: once per frame through its placed device's
+            # cache (device code is per-context: a fleet of K cold
+            # devices pays up to K misses where one device pays one)
+            with tracer.span("compile-stage", category="pipeline-stage") as sp:
+                program = None
+                for dec in decisions:
+                    program = job.compile(topo.device(dec.device).cache)
+                deltas = [
+                    d.cache.stats.since(b) for d, b in zip(topo, before)
+                ]
+                cache_delta = CacheStats(
+                    hits=sum(d.hits for d in deltas),
+                    misses=sum(d.misses for d in deltas),
+                    invalidations=sum(d.invalidations for d in deltas),
+                )
+                sp.set(hits=cache_delta.hits, misses=cache_delta.misses)
+
+            # functional stage: validate on the executor of the device
+            # the frame was placed on — bit-exactness must hold wherever
+            # the placement sent the frame
+            with tracer.span("validate-stage", category="pipeline-stage") as sp:
+                validated = 0
+                if self.validate == "first":
+                    validated += int(self._validate(
+                        job, program, 0, 0,
+                        executor=topo.device(decisions[0].device).executor,
+                    ))
+                elif self.validate == "all":
+                    for f, dec in enumerate(decisions):
+                        executor = topo.device(dec.device).executor
+                        for i in range(ipf):
+                            validated += int(self._validate(
+                                job, program, f, i, executor=executor,
+                            ))
+                sp.set(validated=validated)
+
+            with tracer.span("schedule-stage", category="pipeline-stage"):
+                runs = frames * ipf
+                schedule = build_schedule(
+                    program, self.executor, runs=runs, depth=self.depth,
+                    serialize=self.serialize, topology=topo,
+                    placements=decisions, frame_batch=ipf,
+                )
+            pipe_span.set(program=program.name, runs=runs)
+
+        # feedback: refine the policy's service-time estimate so later
+        # batches balance on observed per-frame cost, not the prior
+        serial_per_frame = schedule.serial_us / frames
+        for dec in decisions:
+            policy.observe(dec.device, serial_per_frame)
+
+        latencies = schedule.latencies_us(batch=ipf)
+        makespan = schedule.makespan_us
+        engines = topo.engines()
+        occupancy = schedule.engine_occupancy(engines=engines)
+        per_device: dict[str, dict] = {}
+        for k, d in enumerate(topo):
+            kinds = {
+                kind: schedule.engine_busy_us(d.engine(kind))
+                for kind in ("h2d", "compute", "d2h")
+            }
+            per_device[d.name] = {
+                "frames": sum(1 for dec in decisions if dec.device == k),
+                "busy_us": {k2: round(v, 3) for k2, v in kinds.items()},
+                "occupancy": {
+                    kind: round(occupancy[d.engine(kind)], 4)
+                    for kind in ("h2d", "compute", "d2h")
+                },
+                "peak_bytes": d.memory.peak_bytes,
+                "cache": deltas[k].as_dict(),
+            }
+
+        transfer_serial = self._transfer_serial_us(program, runs)
+        return PipelineReport(
+            job=job.name,
+            program=program.name,
+            frames=frames,
+            instances=runs,
+            depth=schedule.depth,
+            serialize=self.serialize,
+            serial_us=schedule.serial_us,
+            overlapped_us=makespan,
+            frames_per_second=frames / (makespan / 1e6) if makespan else 0.0,
+            latency_p50_us=float(np.percentile(latencies, 50)) if latencies else 0.0,
+            latency_p95_us=float(np.percentile(latencies, 95)) if latencies else 0.0,
+            engine_busy_us={e: schedule.engine_busy_us(e) for e in engines},
+            engine_occupancy=occupancy,
+            transfer_share_serial=(
+                transfer_serial / schedule.serial_us if schedule.serial_us else 0.0
+            ),
+            cache=cache_delta,
+            validated_instances=validated,
+            schedule=schedule,
+            devices=len(topo),
+            placement=policy.name,
+            per_device=per_device,
+            migrations=schedule.migrations,
+            migration_us=schedule.migration_us,
         )
 
     def _transfer_serial_us(self, program: DeviceProgram, runs: int) -> float:

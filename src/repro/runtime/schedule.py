@@ -63,11 +63,15 @@ class ScheduledNode:
 
     id: int
     run: int  # which back-to-back program run issued the op
-    op_index: int  # index into ``program.ops``
+    op_index: int  # index into ``program.ops``; -1 for synthetic fleet
+    # migration transfers (no backing program op)
     name: str
-    engine: str  # "h2d" | "compute" | "d2h" | "host"
+    engine: str  # "h2d" | "compute" | "d2h" | "host", "d{k}:"-prefixed
+    # (host lanes "hl{l}:host") when built against a DeviceTopology
     start_us: float
     end_us: float
+    #: device stream the op belongs to (0 on single-device schedules)
+    device: int = 0
     #: node ids this operation waited on (data, WAR/WAW and host deps;
     #: engine-FIFO predecessors are implicit in the per-engine order)
     deps: tuple[int, ...] = ()
@@ -97,6 +101,14 @@ class PipelineSchedule:
     serialize: bool
     serial_us: float
     nodes: tuple[ScheduledNode, ...] = field(compare=False)
+    #: fleet shape: device count, per-frame placements (device index per
+    #: frame, empty on single-device schedules) and host-staged migration
+    #: accounting — migration time is *extra* work the placement chose to
+    #: pay, so it is kept out of ``serial_us`` (the what-if baseline)
+    devices: int = 1
+    placements: tuple[int, ...] = field(default=(), compare=False)
+    migrations: int = 0
+    migration_us: float = 0.0
 
     @property
     def makespan_us(self) -> float:
@@ -118,12 +130,27 @@ class PipelineSchedule:
     def engine_busy_us(self, engine: str) -> float:
         return sum(n.duration_us for n in self.nodes if n.engine == engine)
 
-    def engine_occupancy(self) -> dict[str, float]:
-        """Fraction of the makespan each engine spends busy."""
+    def engine_occupancy(
+        self, engines: tuple[str, ...] | None = None
+    ) -> dict[str, float]:
+        """Fraction of the makespan each engine spends busy.
+
+        ``engines`` widens the report to engines with no scheduled node
+        (a fleet device idle for the whole run); both the zero-span and
+        the zero-busy case are guarded per engine so an idle device
+        reports exactly ``0.0`` rather than dividing noise by the
+        fleet-wide makespan.
+        """
+        names = self.engines if engines is None else tuple(engines)
         span = self.makespan_us
-        if span <= 0:
-            return {e: 0.0 for e in self.engines}
-        return {e: self.engine_busy_us(e) / span for e in self.engines}
+        out: dict[str, float] = {}
+        for e in names:
+            busy = self.engine_busy_us(e)
+            out[e] = busy / span if busy > 0.0 and span > 0.0 else 0.0
+        return out
+
+    def device_nodes(self, device: int) -> tuple[ScheduledNode, ...]:
+        return tuple(n for n in self.nodes if n.device == device)
 
     def run_nodes(self, run: int) -> tuple[ScheduledNode, ...]:
         return tuple(n for n in self.nodes if n.run == run)
@@ -150,6 +177,10 @@ def build_schedule(
     depth: int | None = 2,
     serialize: bool = False,
     regions: bool = True,
+    topology=None,
+    placements=None,
+    placement="round-robin",
+    frame_batch: int = 1,
 ) -> PipelineSchedule:
     """Schedule ``runs`` back-to-back executions of ``program``.
 
@@ -163,15 +194,34 @@ def build_schedule(
     wait for a predecessor touching a provably disjoint box of the same
     resource, so e.g. a partial upload of one tile overlaps a kernel
     writing another.  ``regions=False`` restores whole-resource edges.
+
+    With a :class:`~repro.runtime.fleet.DeviceTopology` the runs shard
+    across the fleet: every device owns a namespaced engine triple
+    (``d{k}:h2d`` / ``d{k}:compute`` / ``d{k}:d2h``) with its own buffer
+    slots and its own host-step barrier stream; host steps run on at most
+    ``host.cores`` shared lanes and every PCIe transfer additionally
+    queues on the topology's shared host staging channels (the saturation
+    model).  ``frame_batch`` consecutive runs form one frame — the unit
+    of placement.  ``placements`` gives one
+    :class:`~repro.runtime.fleet.PlacementDecision` per frame (e.g. from
+    :class:`~repro.runtime.pipeline.FramePipeline`'s placement stage);
+    without it, frames are placed by the named ``placement`` policy.  A
+    decision carrying ``migrate_from`` materialises the host-staged move
+    as real D2H + H2D nodes priced by the PCIe model, which the frame's
+    runs then wait on.
+
     The work is recorded as one ``schedule`` span on the ambient tracer.
     """
     with current_tracer().span(
         f"build_schedule:{program.name}", category="schedule",
         runs=runs, depth=depth if depth is not None else runs,
         serialize=serialize,
+        devices=1 if topology is None else len(topology),
     ) as span:
         schedule = _build_schedule(
-            program, executor, runs, depth, serialize, regions
+            program, executor, runs, depth, serialize, regions,
+            topology=topology, placements=placements, placement=placement,
+            frame_batch=frame_batch,
         )
         span.set(nodes=len(schedule.nodes), makespan_us=schedule.makespan_us)
         return schedule
@@ -184,13 +234,53 @@ def _build_schedule(
     depth: int | None,
     serialize: bool,
     regions: bool = True,
+    topology=None,
+    placements=None,
+    placement="round-robin",
+    frame_batch: int = 1,
 ) -> PipelineSchedule:
     if runs <= 0:
         raise ValueError("runs must be positive")
     depth = runs if depth is None else depth
     if depth <= 0:
         raise ValueError("depth must be positive")
+    if frame_batch <= 0:
+        raise ValueError("frame_batch must be positive")
     cost = executor.cost
+
+    frames = (runs + frame_batch - 1) // frame_batch
+    decisions = None
+    if topology is not None:
+        from repro.runtime.fleet import FrameTicket, make_placement
+
+        if placements is None:
+            policy = make_placement(placement, len(topology))
+            decisions = [
+                policy.place(FrameTicket(frame=f, cache_key=program.name))
+                for f in range(frames)
+            ]
+        else:
+            decisions = list(placements)
+            if len(decisions) != frames:
+                raise ValueError(
+                    f"{len(decisions)} placement(s) for {frames} frame(s) "
+                    f"({runs} runs in batches of {frame_batch})"
+                )
+        for d in decisions:
+            if not 0 <= d.device < len(topology):
+                raise DeviceError(
+                    f"frame {d.frame} placed on device {d.device} of a "
+                    f"{len(topology)}-device topology"
+                )
+            if d.migrate_from is not None and not (
+                0 <= d.migrate_from < len(topology)
+            ):
+                raise DeviceError(
+                    f"frame {d.frame} migrates from unknown device "
+                    f"{d.migrate_from}"
+                )
+    elif placements is not None:
+        raise ValueError("placements require a device topology")
 
     overlap = None
     op_access = None
@@ -214,7 +304,14 @@ def _build_schedule(
 
     nbytes: dict[str, int] = {}
     itemsize: dict[str, int] = {}
-    engine_ready: dict[str, float] = {"h2d": 0.0, "compute": 0.0, "d2h": 0.0}
+    if topology is None:
+        engine_ready: dict[str, float] = {"h2d": 0.0, "compute": 0.0, "d2h": 0.0}
+        chan_ready = None
+    else:
+        # every namespaced engine (host lanes included) runs FIFO; PCIe
+        # transfers additionally queue on the shared staging channels
+        engine_ready = {e: 0.0 for e in topology.engines()}
+        chan_ready = [0.0] * topology.host_channels
     #: per resource, the writers/readers still relevant for dependences:
     #: (node id, end, access boxes, engine).  A whole-resource write
     #: supersedes everything before it (it waited on all of it); a
@@ -222,14 +319,33 @@ def _build_schedule(
     #: equal-boxed reads on the same engine (FIFO orders them).
     writers: dict[tuple[str, str], list] = {}
     readers: dict[tuple[str, str], list] = {}
-    host_sync = 0.0
-    host_barrier: int | None = None
+    #: host-step barriers are per device stream: a host step of one
+    #: device's frame must not stall another device's issue
+    host_sync: dict[int, float] = {}
+    host_barrier: dict[int, int] = {}
     prev_node: tuple[int, float] | None = None  # for serialize
     nodes: list[ScheduledNode] = []
     serial = 0.0
+    migration_total = 0.0
+    migration_count = 0
+    mig_nbytes: int | None = None
+    dev_run_count: dict[int, int] = {}
+    frame_floors: dict[int, tuple[float, int]] = {}
+    cur_dev = 0   # device stream of the run being scheduled
+    cur_slot = 0  # its per-device buffer slot (round-robin over depth)
+    floor_end = 0.0  # earliest start of the current run (migration fence)
+    floor_dep: int | None = None
+
+    def eng(kind: str) -> str:
+        return kind if topology is None else f"d{cur_dev}:{kind}"
+
+    def lane() -> str:
+        return "host" if topology is None else topology.host_lane(cur_dev)
 
     def dev(buffer: str, run: int) -> tuple[str, str]:
-        return (DEV, f"{buffer}@s{run % depth}")
+        if topology is None:
+            return (DEV, f"{buffer}@s{run % depth}")
+        return (DEV, f"d{cur_dev}/{buffer}@s{cur_slot}")
 
     def host_res(name: str, run: int) -> tuple[str, str]:
         return (HOST, f"{name}@r{run}")
@@ -272,15 +388,43 @@ def _build_schedule(
         write_res: tuple[tuple[str, str], ...],
         read_boxes: tuple = (),
         write_boxes: tuple = (),
+        device: int | None = None,
+        channel: bool = False,
     ) -> ScheduledNode:
-        nonlocal prev_node
-        if host_barrier is not None:
-            deps.add(host_barrier)
-        after = max(after, host_sync)
+        nonlocal prev_node, floor_dep
+        stream = cur_dev if device is None else device
+        barrier = host_barrier.get(stream)
+        if barrier is not None:
+            deps.add(barrier)
+        after = max(after, host_sync.get(stream, 0.0))
+        if op_index >= 0 and floor_end > 0.0:
+            # the frame migrated here: nothing runs before its working
+            # set landed (the dep edge goes on the run's first node)
+            after = max(after, floor_end)
+            if floor_dep is not None:
+                deps.add(floor_dep)
+                floor_dep = None
         if serialize and prev_node is not None:
             deps.add(prev_node[0])
             after = max(after, prev_node[1])
         start = max(engine_ready.get(engine, 0.0), after)
+        if channel and chan_ready is not None:
+            # the PCIe wire: this transfer occupies one of the shared
+            # host staging channels for exactly its duration.  Best fit:
+            # take the latest-freed channel already free when the
+            # transfer is otherwise ready (keeping earlier-freed wires
+            # open); only when every wire is still busy does the
+            # transfer wait — the fleet's saturation point.
+            free = [
+                i for i in range(len(chan_ready))
+                if chan_ready[i] <= start + _EPS
+            ]
+            if free:
+                ci = max(free, key=chan_ready.__getitem__)
+            else:
+                ci = min(range(len(chan_ready)), key=chan_ready.__getitem__)
+                start = chan_ready[ci]
+            chan_ready[ci] = start + dur
         end = start + dur
         if engine in engine_ready:
             engine_ready[engine] = end
@@ -296,6 +440,7 @@ def _build_schedule(
             engine=engine,
             start_us=start,
             end_us=end,
+            device=stream,
             deps=tuple(sorted(deps)),
             reads=read_res,
             writes=write_res,
@@ -324,6 +469,43 @@ def _build_schedule(
         return node
 
     for run in range(runs):
+        if topology is not None:
+            frame = run // frame_batch
+            dcsn = decisions[frame]
+            cur_dev = dcsn.device
+            count = dev_run_count.get(cur_dev, 0)
+            cur_slot = count % depth
+            dev_run_count[cur_dev] = count + 1
+            floor_end, floor_dep = 0.0, None
+            if (
+                run % frame_batch == 0
+                and dcsn.migrate_from is not None
+                and dcsn.migrate_from != cur_dev
+            ):
+                # host-staged migration: D2H the frame's working set on
+                # the source, H2D it on the target, both through the
+                # shared staging channels — the frame's runs wait on it
+                if mig_nbytes is None:
+                    from repro.runtime.fleet import upload_nbytes
+
+                    mig_nbytes = upload_nbytes(program)
+                d2h_us, h2d_us = topology.migration_us(mig_nbytes)
+                src, dst = dcsn.migrate_from, cur_dev
+                nsrc = place(
+                    run, -1, f"migrate-d2h:{src}->{dst}", f"d{src}:d2h",
+                    d2h_us, 0.0, set(), read_res=(), write_res=(),
+                    device=src, channel=True,
+                )
+                ndst = place(
+                    run, -1, f"migrate-h2d:{src}->{dst}", f"d{dst}:h2d",
+                    h2d_us, nsrc.end_us, {nsrc.id}, read_res=(), write_res=(),
+                    device=dst, channel=True,
+                )
+                frame_floors[frame] = (ndst.end_us, ndst.id)
+                migration_total += d2h_us + h2d_us
+                migration_count += 1
+            if frame in frame_floors:
+                floor_end, floor_dep = frame_floors[frame]
         for i, op in enumerate(program.ops):
             if isinstance(op, AllocDevice):
                 nbytes[op.buffer] = op.nbytes
@@ -341,9 +523,9 @@ def _build_schedule(
                 rb = boxes_for(i, "host array", op.host, False)
                 after = wait_write(res, 0.0, deps, wb)
                 place(
-                    run, i, f"h2d:{op.device}", "h2d", dur, after, deps,
+                    run, i, f"h2d:{op.device}", eng("h2d"), dur, after, deps,
                     read_res=(host_res(op.host, run),), write_res=(res,),
-                    read_boxes=(rb,), write_boxes=(wb,),
+                    read_boxes=(rb,), write_boxes=(wb,), channel=True,
                 )
             elif isinstance(op, LaunchKernel):
                 dur = executor.kernel_breakdown(op.kernel).total_us
@@ -368,7 +550,7 @@ def _build_schedule(
                         write_boxes.append(wb)
                         after = wait_write(res, after, deps, wb)
                 place(
-                    run, i, op.kernel.name, "compute", dur, after, deps,
+                    run, i, op.kernel.name, eng("compute"), dur, after, deps,
                     read_res=tuple(read_res), write_res=tuple(write_res),
                     read_boxes=tuple(read_boxes), write_boxes=tuple(write_boxes),
                 )
@@ -385,9 +567,9 @@ def _build_schedule(
                 after = wait_read(res, 0.0, deps, rb)
                 after = wait_write(out_res, after, deps, wb)
                 place(
-                    run, i, f"d2h:{op.device}", "d2h", dur, after, deps,
+                    run, i, f"d2h:{op.device}", eng("d2h"), dur, after, deps,
                     read_res=(res,), write_res=(out_res,),
-                    read_boxes=(rb,), write_boxes=(wb,),
+                    read_boxes=(rb,), write_boxes=(wb,), channel=True,
                 )
             elif isinstance(op, HostCompute):
                 dur = cost.host_work_time_us(op.work)
@@ -411,12 +593,12 @@ def _build_schedule(
                     write_boxes.append(wb)
                     after = wait_write(res, after, deps, wb)
                 node = place(
-                    run, i, op.name, "host", dur, after, deps,
+                    run, i, op.name, lane(), dur, after, deps,
                     read_res=tuple(read_res), write_res=tuple(write_res),
                     read_boxes=tuple(read_boxes), write_boxes=tuple(write_boxes),
                 )
-                host_sync = node.end_us
-                host_barrier = node.id
+                host_sync[cur_dev] = node.end_us
+                host_barrier[cur_dev] = node.id
             else:
                 raise DeviceError(f"scheduler cannot handle {op!r}")
 
@@ -427,6 +609,12 @@ def _build_schedule(
         serialize=serialize,
         serial_us=serial,
         nodes=tuple(nodes),
+        devices=1 if topology is None else len(topology),
+        placements=(
+            tuple(d.device for d in decisions) if decisions is not None else ()
+        ),
+        migrations=migration_count,
+        migration_us=migration_total,
     )
 
 
@@ -461,8 +649,9 @@ def schedule_violations(schedule: PipelineSchedule) -> list[str]:
     for n in schedule.nodes:
         by_engine.setdefault(n.engine, []).append(n)
     for engine, ns in by_engine.items():
-        if engine == "host":
-            continue  # host steps are ordered via host_sync, checked below
+        # host engines/lanes are FIFO too: the builder's host_sync (one
+        # stream) or lane FIFO (fleet) serialises steps on one lane, so
+        # the same no-overlap check applies to every engine
         for a, b in zip(ns, ns[1:]):
             if b.start_us < a.end_us - _EPS:
                 out.append(
@@ -523,27 +712,30 @@ def schedule_violations(schedule: PipelineSchedule) -> list[str]:
             kept.append((n, rb))
             reader_hist[res] = kept
 
-    # host steps serialise against each other and block all later issue.
-    # One ordered pass tracking the latest-ending host step issued so far —
-    # a node violates the barrier iff it starts before that maximum, so the
+    # host steps serialise against each other and block all later issue
+    # *of their own device stream* (a fleet device's host step must not
+    # stall another device's issue; single-device schedules have exactly
+    # one stream, so this is the old global check).  One ordered pass per
+    # stream tracking the latest-ending host step issued so far — a node
+    # violates the barrier iff it starts before that maximum, so the
     # check is O(nodes) instead of the old O(hosts x nodes) sweep (which
     # went quadratic on 300-frame schedules with per-frame host steps).
-    last_host: ScheduledNode | None = None
+    last_host: dict[int, ScheduledNode] = {}
     for n in sorted(schedule.nodes, key=lambda n: n.id):
-        if last_host is not None and n.start_us < last_host.end_us - _EPS:
-            if n.engine == "host":
+        prior = last_host.get(n.device)
+        is_host = n.engine == "host" or n.engine.endswith(":host")
+        if prior is not None and n.start_us < prior.end_us - _EPS:
+            if is_host:
                 out.append(
                     f"host: node {n.id} ({n.name}) starts before node "
-                    f"{last_host.id} ({last_host.name}) ends"
+                    f"{prior.id} ({prior.name}) ends"
                 )
             else:
                 out.append(
                     f"host barrier: node {n.id} ({n.name}) issued after host "
-                    f"step {last_host.id} ({last_host.name}) but starts "
+                    f"step {prior.id} ({prior.name}) but starts "
                     f"before it ends"
                 )
-        if n.engine == "host" and (
-            last_host is None or n.end_us > last_host.end_us
-        ):
-            last_host = n
+        if is_host and (prior is None or n.end_us > prior.end_us):
+            last_host[n.device] = n
     return out

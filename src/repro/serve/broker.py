@@ -2,8 +2,9 @@
 
 Clients ``await broker.submit(tenant, frame, deadline_us=...)``; the
 broker answers every submit with exactly one :class:`~repro.serve.types.
-Response`.  Internally one service loop owns the (simulated, single)
-device:
+Response`.  Internally one service loop owns the simulated device fleet
+(``ServeConfig.devices``, default one) and dispatches each flushed batch
+to the device that vacates first:
 
 1. **arrival** — quota (:mod:`repro.serve.quota`) and admission
    (:mod:`repro.serve.admission`) gates run synchronously; rejected
@@ -72,6 +73,7 @@ class _BatchRecord:
     start_us: float
     makespan_us: float
     program: str
+    device: int = 0
 
 
 @dataclass(frozen=True)
@@ -105,6 +107,9 @@ class ServingReport:
     quota: dict
     degrade: dict
     cache: dict
+    devices: int = 1
+    #: per-device dispatch totals ("d0": {batches, frames, busy_us, utilisation})
+    per_device: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -134,7 +139,10 @@ class ServingReport:
             "quota": self.quota,
             "degrade": self.degrade,
             "cache": self.cache,
-        }
+        } | (
+            {"devices": self.devices, "per_device": self.per_device}
+            if self.devices > 1 else {}
+        )
 
     def render(self) -> str:
         slo_ms = self.config.slo_us / 1000.0
@@ -157,6 +165,12 @@ class ServingReport:
             f"  queue:      high water {self.queue_depth_high_water}",
             f"  validated:  {self.validated} response(s) bit-exact vs golden",
         ]
+        if self.devices > 1:
+            shares = ", ".join(
+                f"{name} {stats['batches']}b/{stats['frames']}f"
+                for name, stats in sorted(self.per_device.items())
+            )
+            lines.insert(1, f"  fleet:      {self.devices} device(s): {shares}")
         return "\n".join(lines)
 
 
@@ -213,7 +227,9 @@ class ServeBroker:
 
         self._rid = itertools.count()
         self._batch_id = itertools.count()
-        self._device_free_us = 0.0
+        #: virtual time each fleet device vacates; one entry per device —
+        #: a batch is a unit of dispatch and occupies exactly one device
+        self._device_free_us = [0.0] * config.devices
         self._responses: list[Response] = []
         self._batches: list[_BatchRecord] = []
         self._schedules: dict[tuple, object] = {}
@@ -249,13 +265,13 @@ class ServeBroker:
     async def drain(self) -> None:
         """Wait until every admitted request has completed."""
         while len(self.batcher) or self._completions or (
-            self._device_free_us > self.clock.now_us
+            max(self._device_free_us) > self.clock.now_us
         ):
             pending = list(self._completions)
             if pending:
                 await asyncio.gather(*pending)
-            elif self._device_free_us > self.clock.now_us:
-                await self.clock.sleep_until(self._device_free_us)
+            elif max(self._device_free_us) > self.clock.now_us:
+                await self.clock.sleep_until(max(self._device_free_us))
             else:
                 # queued requests are waiting out the batcher's flush
                 # timer; check back after one wait bound
@@ -290,7 +306,7 @@ class ServeBroker:
         )
         if not self.quota.try_take(tenant, now):
             return self._reject(request, REJECT_QUOTA)
-        backlog_us = max(0.0, self._device_free_us - now)
+        backlog_us = max(0.0, min(self._device_free_us) - now)
         reason = self.admission.admit(request, len(self.batcher), backlog_us)
         if reason is not None:
             return self._reject(request, reason)
@@ -336,10 +352,11 @@ class ServeBroker:
                 min(len(self.batcher), cfg.max_batch)
             )
             flush_at = self.batcher.next_flush_at_us(est)
-            if self._device_free_us <= now:
-                # the device is idle: holding requests back cannot help —
-                # coalescing only wins while a previous batch occupies the
-                # engines (the continuous-batching argument)
+            if min(self._device_free_us) <= now:
+                # some device is idle: holding requests back cannot help —
+                # coalescing only wins while every device is occupied by a
+                # previous batch (the continuous-batching argument, applied
+                # fleet-wide)
                 flush_at = float("-inf")
             if flush_at > now and not self._stopping:
                 # race the flush timer against new arrivals (which may
@@ -368,15 +385,21 @@ class ServeBroker:
                 est,
             )
             degraded = self.degrade.degraded and self.degraded_job is not None
-            start_us = max(now, self._device_free_us)
+            # dispatch to the device that vacates first (ties -> lowest
+            # index): the fleet analogue of the single serial resource
+            device = min(
+                range(len(self._device_free_us)),
+                key=self._device_free_us.__getitem__,
+            )
+            start_us = max(now, self._device_free_us[device])
             outcome = self._execute_batch(batch, degraded)
-            self._device_free_us = start_us + outcome.makespan_us
+            self._device_free_us[device] = start_us + outcome.makespan_us
             self.admission.observe_batch(len(batch), outcome.makespan_us)
             bid = next(self._batch_id)
             self._batches.append(_BatchRecord(
                 batch_id=bid, size=len(batch), degraded=degraded,
                 start_us=start_us, makespan_us=outcome.makespan_us,
-                program=outcome.program,
+                program=outcome.program, device=device,
             ))
             self.registry.histogram(
                 "repro_serve_batch_size", buckets=(1, 2, 4, 8, 16, 32)
@@ -399,9 +422,9 @@ class ServeBroker:
                 self._completions.add(task)
                 task.add_done_callback(self._completions.discard)
             self._inflight = []
-            # the device is a serial resource: the next batch cannot start
-            # (and should not flush) before this one vacates it
-            await self.clock.sleep_until(self._device_free_us)
+            # each device is a serial resource: the next batch cannot start
+            # (and should not flush) before the earliest one vacates
+            await self.clock.sleep_until(min(self._device_free_us))
 
     def _execute_batch(self, batch: list[PendingEntry], degraded: bool) -> _BatchOutcome:
         job = self.degraded_job if degraded else self.job
@@ -543,6 +566,17 @@ class ServeBroker:
         )
         ok = sum(1 for r in served if r.ok)
         sizes = [b.size for b in self._batches]
+        devices = self.config.devices
+        per_device: dict[str, dict] = {}
+        for k in range(devices):
+            mine = [b for b in self._batches if b.device == k]
+            busy = sum(b.makespan_us for b in mine)
+            per_device[f"d{k}"] = {
+                "batches": len(mine),
+                "frames": sum(b.size for b in mine),
+                "busy_us": round(busy, 3),
+                "utilisation": round(busy / duration_us, 4) if duration_us else 0.0,
+            }
         return ServingReport(
             job=self.job.name,
             config=self.config,
@@ -571,4 +605,6 @@ class ServeBroker:
             quota=self.quota.as_dict(),
             degrade=self.degrade.as_dict(),
             cache=self.cache.stats.as_dict(),
+            devices=devices,
+            per_device=per_device,
         )

@@ -146,10 +146,15 @@ class ServeConfig:
     #: functional execution: "all" runs every served request bit-exact
     #: against the golden reference, "none" serves timing only
     execute: str = "all"
+    #: size of the device fleet the broker dispatches batches over; each
+    #: batch occupies one device for its modelled makespan
+    devices: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
         if self.slo_us <= 0:
             raise ValueError("slo_us must be positive")
         if self.queue_budget < 1:

@@ -1,0 +1,87 @@
+"""Fleet schedules in the Chrome trace: one track-group per device."""
+
+import pytest
+
+from repro.apps.downscaler import CIF
+from repro.apps.downscaler.serving import downscaler_job
+from repro.obs import (
+    DEVICE_PID,
+    FLEET_HOST_PID,
+    FLEET_PID_BASE,
+    chrome_trace,
+    engine_busy_from_trace,
+    schedule_events,
+    validate_chrome_trace,
+)
+from repro.runtime import FramePipeline
+
+
+@pytest.fixture(scope="module")
+def fleet_report():
+    """A K=3 gaspard run: three device groups plus shared host lanes."""
+    pipe = FramePipeline(devices=3, validate="none")
+    return pipe.run(downscaler_job("gaspard", size=CIF), frames=6)
+
+
+def test_one_track_group_per_device(fleet_report):
+    doc = chrome_trace(
+        schedule=fleet_report.schedule, frame_batch=1, name="fleet"
+    )
+    assert validate_chrome_trace(doc) == []
+    x_pids = {
+        ev["pid"] for ev in doc["traceEvents"] if ev.get("ph") == "X"
+    }
+    # one process per device, none on the legacy single-device pid
+    assert {FLEET_PID_BASE + k for k in range(3)} <= x_pids
+    assert DEVICE_PID not in x_pids
+    # gaspard has host steps: they land on the shared host-lane process
+    assert FLEET_HOST_PID in x_pids
+    names = {
+        ev["pid"]: ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev.get("ph") == "M" and ev.get("name") == "process_name"
+    }
+    for k in range(3):
+        assert names[FLEET_PID_BASE + k].startswith(f"device d{k}:")
+    assert names[FLEET_HOST_PID] == "host lanes"
+
+
+def test_fleet_slices_keep_namespaced_engines(fleet_report):
+    events = schedule_events(fleet_report.schedule)
+    slices = [ev for ev in events if ev["ph"] == "X"]
+    assert len(slices) == len(fleet_report.schedule.nodes)
+    for ev in slices:
+        engine = ev["cat"]
+        assert ":" in engine
+        assert ev["args"]["device"] in (0, 1, 2)
+        if engine.startswith("d"):
+            device = int(engine.split(":", 1)[0][1:])
+            assert ev["pid"] == FLEET_PID_BASE + device
+
+
+def test_fleet_flow_events_cross_processes(fleet_report):
+    events = schedule_events(fleet_report.schedule)
+    starts = {ev["id"]: ev for ev in events if ev["ph"] == "s"}
+    finishes = [ev for ev in events if ev["ph"] == "f"]
+    assert finishes
+    for fin in finishes:
+        assert fin["id"] in starts
+    # host-step barriers produce at least one arrow between processes
+    assert any(
+        starts[fin["id"]]["pid"] != fin["pid"] for fin in finishes
+    )
+
+
+def test_fleet_busy_totals_match_schedule(fleet_report):
+    doc = chrome_trace(schedule=fleet_report.schedule)
+    busy = engine_busy_from_trace(doc)
+    schedule = fleet_report.schedule
+    assert set(busy) == {
+        e for e in schedule.engines if schedule.engine_busy_us(e) > 0
+    }
+    for engine, total in busy.items():
+        assert total == pytest.approx(schedule.engine_busy_us(engine))
+    # restricting to one device's pid isolates that device's engines
+    d1 = engine_busy_from_trace(doc, pid=FLEET_PID_BASE + 1)
+    assert set(d1) <= {"d1:h2d", "d1:compute", "d1:d2h"}
+    assert d1

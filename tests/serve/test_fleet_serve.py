@@ -1,0 +1,79 @@
+"""Fleet-aware broker: per-device dispatch, flush rule, gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, collect_serving_report
+from repro.serve import ServeConfig, run_closed_loop, run_open_loop
+
+
+def test_config_rejects_bad_fleet_size():
+    with pytest.raises(ValueError):
+        ServeConfig(devices=0)
+
+
+def test_fleet_doubles_closed_loop_goodput(broker_factory):
+    reports = {}
+    for devices in (1, 2):
+        broker = broker_factory(
+            config=ServeConfig(execute="none", devices=devices, max_batch=4)
+        )
+        _responses, reports[devices] = run_closed_loop(
+            broker, clients=8, requests_per_client=6
+        )
+    assert reports[2].goodput_rps > reports[1].goodput_rps * 1.5
+    assert reports[1].completed_ok == reports[2].completed_ok == 48
+
+
+def test_fleet_spreads_batches_over_devices(broker_factory):
+    broker = broker_factory(
+        config=ServeConfig(execute="none", devices=2, max_batch=4)
+    )
+    _responses, report = run_closed_loop(
+        broker, clients=8, requests_per_client=4
+    )
+    assert report.devices == 2
+    assert sorted(report.per_device) == ["d0", "d1"]
+    assert all(s["batches"] > 0 for s in report.per_device.values())
+    assert sum(s["frames"] for s in report.per_device.values()) == 32
+    doc = report.as_dict()
+    assert doc["devices"] == 2 and "per_device" in doc
+    assert "fleet:" in report.render()
+
+
+def test_single_device_report_omits_fleet_fields(broker_factory):
+    broker = broker_factory(config=ServeConfig(execute="none"))
+    _responses, report = run_open_loop(broker, rate_rps=300.0, requests=6)
+    assert report.devices == 1
+    doc = report.as_dict()
+    assert "devices" not in doc and "per_device" not in doc
+    assert "fleet:" not in report.render()
+
+
+def test_fleet_serves_bit_exact(broker_factory):
+    broker = broker_factory(
+        config=ServeConfig(execute="all", devices=2, max_batch=2)
+    )
+    responses, report = run_open_loop(broker, rate_rps=500.0, requests=10)
+    assert report.completed_ok == 10
+    assert report.validated == 10
+    assert all(r.ok and r.validated for r in responses)
+
+
+def test_collect_serving_report_emits_device_gauges(broker_factory):
+    broker = broker_factory(
+        config=ServeConfig(execute="none", devices=2, max_batch=4)
+    )
+    _responses, report = run_closed_loop(
+        broker, clients=4, requests_per_client=4
+    )
+    reg = MetricsRegistry()
+    collect_serving_report(reg, report, route="gaspard")
+    doc = reg.as_dict()
+    for device in ("d0", "d1"):
+        label = f'device="{device}",route="gaspard"'
+        assert f"repro_serving_device_busy_us{{{label}}}" in doc
+        assert f"repro_serving_device_utilisation{{{label}}}" in doc
+        assert f"repro_serving_device_batches_total{{{label}}}" in doc
+        assert f"repro_serving_device_frames_total{{{label}}}" in doc

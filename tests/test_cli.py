@@ -155,6 +155,41 @@ def test_pipeline_json(capsys):
     assert metrics['repro_pipeline_frames_total{route="sac-nongeneric"}'] == 3
 
 
+def test_pipeline_fleet_flags(capsys):
+    assert main([
+        "pipeline", "--size", "cif", "--frames", "4", "--route", "gaspard",
+        "--devices", "2", "--placement", "cache-affinity",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fleet:      2 device(s), cache-affinity placement" in out
+    assert "d0" in out and "d1" in out
+
+
+def test_pipeline_fleet_json(capsys):
+    import json
+
+    assert main([
+        "pipeline", "--size", "cif", "--frames", "4", "--route", "gaspard",
+        "--devices", "2", "--json",
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    (entry,) = doc["routes"]
+    report = entry["report"]
+    assert report["devices"] == 2
+    assert report["placement"] == "round-robin"
+    assert sorted(report["per_device"]) == ["d0", "d1"]
+    assert sum(s["frames"] for s in report["per_device"].values()) == 4
+
+
+def test_serve_fleet_devices(capsys):
+    assert main([
+        "serve", "--route", "gaspard", "--size", "cif", "--requests", "8",
+        "--devices", "2", "--no-execute", "--mode", "closed", "--clients", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fleet:      2 device(s)" in out
+
+
 def test_pipeline_lint_certifies_hazards(capsys):
     assert main(
         ["pipeline", "--size", "cif", "--frames", "2", "--route", "gaspard",
