@@ -33,6 +33,7 @@ from repro.analysis.regions import (
     Box,
     RegionOracle,
     Seg,
+    box_contains,
     box_from_dict,
     boxes_overlap,
     find_region_reports,
@@ -75,6 +76,7 @@ __all__ = [
     "box_from_dict",
     "full_box",
     "boxes_overlap",
+    "box_contains",
     "must_cover",
     "progression_box",
     "kernel_access_boxes",

@@ -68,6 +68,7 @@ __all__ = [
     "full_box",
     "progression_box",
     "boxes_overlap",
+    "box_contains",
     "must_cover",
     "kernel_access_boxes",
     "launch_access_boxes",
@@ -185,6 +186,33 @@ def boxes_overlap(a: Box, b: Box) -> bool:
     if a.unknown or b.unknown or a.rank != b.rank:
         return True
     return all(sa.overlaps(sb) for sa, sb in zip(a.segs, b.segs))
+
+
+def box_contains(outer: Box, inner: Box) -> bool:
+    """Does ``outer`` provably contain every element of ``inner``?
+
+    The proof needs ``outer`` to be exact (an inexact box only promises a
+    superset of its true access set, which proves nothing about what it
+    holds) and, per dimension, ``inner``'s progression to be a
+    sub-progression of ``outer``'s: aligned on the same residue with a
+    step that is a multiple of the outer step, inside the outer bounds.
+    ``False`` means "not provable", not "disjoint" — the conservative
+    answer for a legality gate.
+    """
+    if outer.unknown or inner.unknown or outer.rank != inner.rank:
+        return False
+    if not outer.exact:
+        return False
+    for so, si in zip(outer.segs, inner.segs):
+        if si.lo < so.lo or si.hi > so.hi:
+            return False
+        if (si.lo - so.lo) % so.step:
+            return False
+        # a single point only needs alignment; a progression also needs
+        # its step to land on the outer residue class every time
+        if si.count > 1 and si.step % so.step:
+            return False
+    return True
 
 
 def progression_box(const: int, contributions) -> tuple[Seg, bool]:

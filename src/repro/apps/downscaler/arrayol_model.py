@@ -129,13 +129,18 @@ def _copy_ip(env: dict, ins: dict[str, str], outs: dict[str, str]) -> None:
         env[buf] = env[in_by_channel[suffix(port)]].copy()
 
 
-def downscaler_model(size: FrameSize = None) -> ApplicationModel:
-    """The full Figure 3 application."""
+def downscaler_model(size: FrameSize = None, paving: int = 1) -> ApplicationModel:
+    """The full Figure 3 application.
+
+    ``paving`` selects the tiler paving granularity (packets per
+    repetition step); the filters' tilers, window lists and repetition
+    spaces all follow.  ``paving=1`` is the paper's Figure 10 model.
+    """
     from repro.apps.downscaler.config import HD
 
     size = size or HD
-    h = horizontal_filter(size)
-    v = vertical_filter(size)
+    h = horizontal_filter(size, paving=paving)
+    v = vertical_filter(size, paving=paving)
     pixels = size.rows * size.cols
 
     fg = IOTask(

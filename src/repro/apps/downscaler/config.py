@@ -13,6 +13,7 @@ tests.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.errors import ReproError
@@ -23,6 +24,7 @@ __all__ = [
     "FrameSize",
     "horizontal_filter",
     "vertical_filter",
+    "legal_pavings",
     "HD",
     "CIF",
     "H_PACK",
@@ -90,7 +92,15 @@ CIF = FrameSize(rows=288, cols=352, name="CIF")
 
 @dataclass(frozen=True)
 class FilterConfig:
-    """One downscaler filter as ArrayOL tiler triplets plus the task spec."""
+    """One downscaler filter as ArrayOL tiler triplets plus the task spec.
+
+    ``pattern``/``out_pattern``/``window_offsets`` are the *effective*
+    per-repetition-step values: at ``granularity`` g > 1 each step of the
+    repetition space processes g consecutive packets (the coarsened
+    paving of :func:`repro.tilers.coarsen_paving`), so the pattern widens,
+    the window list repeats at packet stride, and the repetition extent
+    shrinks by g.  The paper's Figure 10 configuration is ``granularity=1``.
+    """
 
     name: str
     frame_shape: tuple[int, int]
@@ -99,17 +109,24 @@ class FilterConfig:
     out_pattern: int
     window_offsets: tuple[int, ...]
     axis: int  # 0 = vertical (rows), 1 = horizontal (cols)
+    #: paving granularity: packets consumed per repetition step
+    granularity: int = 1
+
+    @property
+    def base_packet(self) -> int:
+        """Input elements of one packet along the axis (Figure 10's 8/9)."""
+        return (V_PACK, H_PACK)[self.axis]
 
     @property
     def packet(self) -> int:
         """Input elements consumed per repetition step along the axis."""
-        return (V_PACK, H_PACK)[self.axis]
+        return self.base_packet * self.granularity
 
     @property
     def repetition_shape(self) -> tuple[int, int]:
         if self.axis == 1:
-            return (self.frame_shape[0], self.frame_shape[1] // H_PACK)
-        return (self.frame_shape[0] // V_PACK, self.frame_shape[1])
+            return (self.frame_shape[0], self.frame_shape[1] // self.packet)
+        return (self.frame_shape[0] // self.packet, self.frame_shape[1])
 
     # -- ArrayOL tilers ------------------------------------------------------
 
@@ -117,10 +134,10 @@ class FilterConfig:
     def input_tiler(self) -> Tiler:
         if self.axis == 1:
             fitting = ((0,), (1,))
-            paving = ((1, 0), (0, H_PACK))
+            paving = ((1, 0), (0, self.packet))
         else:
             fitting = ((1,), (0,))
-            paving = ((V_PACK, 0), (0, 1))
+            paving = ((self.packet, 0), (0, 1))
         return Tiler(
             origin=(0, 0),
             fitting=fitting,
@@ -135,10 +152,10 @@ class FilterConfig:
     def output_tiler(self) -> Tiler:
         if self.axis == 1:
             fitting = ((0,), (1,))
-            paving = ((1, 0), (0, H_OUT))
+            paving = ((1, 0), (0, self.out_pattern))
         else:
             fitting = ((1,), (0,))
-            paving = ((V_OUT, 0), (0, 1))
+            paving = ((self.out_pattern, 0), (0, 1))
         return Tiler(
             origin=(0, 0),
             fitting=fitting,
@@ -172,25 +189,89 @@ class FilterConfig:
         return self.out_pattern + len(self.wrapping_outputs)
 
 
-def horizontal_filter(size: FrameSize = HD) -> FilterConfig:
+def _granular(
+    base_pattern: int,
+    base_out: int,
+    base_offsets: tuple[int, ...],
+    base_pack: int,
+    packets: int,
+    paving: int,
+    name: str,
+) -> tuple[int, int, tuple[int, ...]]:
+    """Effective (pattern, out_pattern, window_offsets) at ``paving``."""
+    if paving < 1:
+        raise ReproError(f"{name}: paving granularity must be >= 1, got {paving}")
+    if packets % paving:
+        raise ReproError(
+            f"{name}: {packets} packets along the axis are not divisible by "
+            f"paving granularity {paving}"
+        )
+    offsets = tuple(
+        j * base_pack + off for j in range(paving) for off in base_offsets
+    )
+    return (paving - 1) * base_pack + base_pattern, paving * base_out, offsets
+
+
+def horizontal_filter(size: FrameSize = HD, paving: int = 1) -> FilterConfig:
+    pattern, out_pattern, offsets = _granular(
+        H_PATTERN, H_OUT, H_WINDOW_OFFSETS, H_PACK,
+        size.cols // H_PACK, paving, "hfilter",
+    )
     return FilterConfig(
         name="hfilter",
         frame_shape=size.shape,
         out_shape=size.h_out_shape,
-        pattern=H_PATTERN,
-        out_pattern=H_OUT,
-        window_offsets=H_WINDOW_OFFSETS,
+        pattern=pattern,
+        out_pattern=out_pattern,
+        window_offsets=offsets,
         axis=1,
+        granularity=paving,
     )
 
 
-def vertical_filter(size: FrameSize = HD) -> FilterConfig:
+def vertical_filter(size: FrameSize = HD, paving: int = 1) -> FilterConfig:
+    pattern, out_pattern, offsets = _granular(
+        V_PATTERN, V_OUT, V_WINDOW_OFFSETS, V_PACK,
+        size.rows // V_PACK, paving, "vfilter",
+    )
     return FilterConfig(
         name="vfilter",
         frame_shape=size.h_out_shape,
         out_shape=size.out_shape,
-        pattern=V_PATTERN,
-        out_pattern=V_OUT,
-        window_offsets=V_WINDOW_OFFSETS,
+        pattern=pattern,
+        out_pattern=out_pattern,
+        window_offsets=offsets,
         axis=0,
+        granularity=paving,
     )
+
+
+@functools.lru_cache(maxsize=None)
+def legal_pavings(size: FrameSize, limit: int = 6) -> tuple[int, ...]:
+    """Paving granularities legal for *both* filters of ``size``.
+
+    A granularity must divide the packet count along each filter's axis
+    (the coarsened repetition space must stay integral), and the
+    coarsened tilers must pass the region oracle's footprint-equivalence
+    check against the Figure 10 base tilers — an illegal re-paving is
+    filtered here, before the tuner ever evaluates it.
+    """
+    from repro.tilers import paving_equivalent
+
+    h_packets = size.cols // H_PACK
+    v_packets = size.rows // V_PACK
+    out: list[int] = []
+    for g in range(1, limit + 1):
+        if h_packets % g or v_packets % g:
+            continue
+        h, v = horizontal_filter(size, paving=g), vertical_filter(size, paving=g)
+        base_h, base_v = horizontal_filter(size), vertical_filter(size)
+        if g > 1 and not (
+            paving_equivalent(base_h.input_tiler, h.input_tiler)
+            and paving_equivalent(base_h.output_tiler, h.output_tiler)
+            and paving_equivalent(base_v.input_tiler, v.input_tiler)
+            and paving_equivalent(base_v.output_tiler, v.output_tiler)
+        ):
+            continue
+        out.append(g)
+    return tuple(out)

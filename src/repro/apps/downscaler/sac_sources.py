@@ -171,10 +171,17 @@ def filter_source(config: FilterConfig, variant: str, name: str | None = None) -
     return "\n".join(lines) + "\n"
 
 
-def downscaler_program_source(size: FrameSize, variant: str) -> str:
-    """The complete two-filter downscaler program for one frame size."""
-    h = horizontal_filter(size)
-    v = vertical_filter(size)
+def downscaler_program_source(
+    size: FrameSize, variant: str, paving: int = 1
+) -> str:
+    """The complete two-filter downscaler program for one frame size.
+
+    ``paving`` selects the tiler paving granularity (packets per
+    repetition step, :func:`~repro.apps.downscaler.config.legal_pavings`);
+    the generated WITH-loops, window lists and tiler matrices all follow.
+    """
+    h = horizontal_filter(size, paving=paving)
+    v = vertical_filter(size, paving=paving)
     parts = [tiler_library_source()]
     parts.append(task_source(h, f"task_{h.name}"))
     parts.append(task_source(v, f"task_{v.name}"))

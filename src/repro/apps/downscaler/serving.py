@@ -78,20 +78,24 @@ class SacDownscalerJob(_DownscalerJobBase):
         variant: str = NONGENERIC,
         opt=None,
         transfers: str = "boundary",
+        paving: int = 1,
         frame_cache: int = 8,
     ):
         super().__init__(size, frame_cache=frame_cache)
         self.variant = variant
         self.opt = opt
         self.transfers = transfers
+        self.paving = paving
         self.name = f"sac-{'nongeneric' if variant == NONGENERIC else 'generic'}"
         if opt is not None:
             self.name += "+opt"
+        if paving != 1:
+            self.name += f"@x{paving}"
 
     def compile(self, cache: CompileCache) -> DeviceProgram:
         from repro.sac.backend import CompileOptions
 
-        source = downscaler_program_source(self.size, self.variant)
+        source = downscaler_program_source(self.size, self.variant, paving=self.paving)
         cf = cache.compile_sac(
             source,
             "downscale",
@@ -115,16 +119,19 @@ class GaspardDownscalerJob(_DownscalerJobBase):
 
     def __init__(
         self, size: FrameSize = HD, opt=None, transfers: str = "boundary",
-        frame_cache: int = 8,
+        paving: int = 1, frame_cache: int = 8,
     ):
         super().__init__(size, frame_cache=frame_cache)
         self.opt = opt
         self.transfers = transfers
+        self.paving = paving
         self.name = "gaspard" if opt is None else "gaspard+opt"
+        if paving != 1:
+            self.name += f"@x{paving}"
 
     def compile(self, cache: CompileCache) -> DeviceProgram:
         ctx, _chain = cache.compile_gaspard(
-            downscaler_model(self.size),
+            downscaler_model(self.size, paving=self.paving),
             downscaler_allocation(),
             opt=self.opt,
             transfers=self.transfers,
@@ -146,15 +153,17 @@ def downscaler_job(
     variant: str = NONGENERIC,
     opt=None,
     transfers: str = "boundary",
+    paving: int = 1,
 ) -> PipelineJob:
     """The pipeline job of one compilation route (``"sac"``/``"gaspard"``).
 
-    ``opt`` (a :class:`repro.opt.OptOptions`) and ``transfers`` flow into
-    the route's compile options, so optimised and paper-literal placements
-    serve through the same pipeline.
+    ``opt`` (a :class:`repro.opt.OptOptions`), ``transfers`` and the tiler
+    ``paving`` granularity flow into the route's compile options, so
+    optimised, re-paved and paper-literal placements serve through the
+    same pipeline.
     """
     if route == "sac":
-        return SacDownscalerJob(size, variant, opt=opt, transfers=transfers)
+        return SacDownscalerJob(size, variant, opt=opt, transfers=transfers, paving=paving)
     if route == "gaspard":
-        return GaspardDownscalerJob(size, opt=opt, transfers=transfers)
+        return GaspardDownscalerJob(size, opt=opt, transfers=transfers, paving=paving)
     raise ReproError(f"unknown pipeline route {route!r}")

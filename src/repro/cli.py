@@ -687,6 +687,46 @@ def _cmd_opt(args) -> int:
     return EXIT_OK
 
 
+def _cmd_tune(args) -> int:
+    """Autotune one app x route; print the winner and its provenance."""
+    import json
+
+    from repro.apps.downscaler.config import CIF, HD
+    from repro.tune import make_subject, tune
+
+    size = HD if args.size == "hd" else CIF
+    routes = ("sac", "gaspard") if args.route == "both" else (args.route,)
+    doc: dict = {"app": args.app, "size": args.size, "routes": []}
+    for route in routes:
+        subject = make_subject(args.app, route, size=size)
+        result = tune(
+            subject,
+            budget=args.budget,
+            seed=args.seed,
+            frames=args.frames,
+            devices=args.devices,
+        )
+        doc["routes"].append(result.as_dict())
+        if not args.json:
+            d, w = result.default_cost, result.winner_cost
+            print(f"=== {args.app}/{route} ({subject.size_name}) ===")
+            print(f"candidates visited   {result.candidates}")
+            print(f"distinct evaluations {result.evaluations}")
+            print(f"certifier rejections {result.rejected}")
+            print(f"default   {d.makespan_us:12.1f} us  "
+                  f"{d.transferred_bytes:>12} B  {d.launches:>3} launches")
+            print(f"winner    {w.makespan_us:12.1f} us  "
+                  f"{w.transferred_bytes:>12} B  {w.launches:>3} launches")
+            print(f"config    {result.winner.describe()}")
+            print(f"improved  {result.improved}   "
+                  f"validated bit-exact: {result.validated}")
+            print(f"record    {result.record.content[:16]}")
+            print()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    return EXIT_OK
+
+
 def _route_program(route: str, size, variant: str, transfers: str):
     """Compile one downscaler route; returns ``(label, DeviceProgram)``."""
     if route == "sac":
@@ -1182,6 +1222,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     p.set_defaults(fn=_cmd_opt)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune the certified optimisation space with modelled cost",
+        description=(
+            "Searches the legal configuration space — optimiser pass toggles "
+            "and tail order, transfer placement, pipeline depth, ArrayOL "
+            "paving granularity, fleet placement — with modelled cost "
+            "(makespan + transferred bytes + launches), then re-runs the "
+            "winner bit-exactly with certification forced on.  The winning "
+            "record is cached per (app, route, size)."
+        ),
+    )
+    p.add_argument(
+        "--app", choices=("downscaler", "convolution"), default="downscaler"
+    )
+    p.add_argument("--route", choices=("sac", "gaspard", "both"), default="both")
+    p.add_argument("--size", choices=("hd", "cif"), default="hd")
+    p.add_argument(
+        "--budget", type=int, default=200,
+        help="candidates to visit (memoised revisits included)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="restart RNG seed")
+    p.add_argument(
+        "--frames", type=int, default=4,
+        help="frames replayed by the modelled schedule",
+    )
+    p.add_argument(
+        "--devices", type=int, default=1,
+        help="fleet size; placement policy is tuned only when > 1",
+    )
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p.set_defaults(fn=_cmd_tune)
 
     args = parser.parse_args(argv)
     try:

@@ -25,7 +25,7 @@ keys of both.
 """
 
 from repro.opt.fusion import fuse_independent_siblings, fuse_program
-from repro.opt.options import OptOptions
+from repro.opt.options import TAIL_PASSES, OptOptions
 from repro.opt.passes import (
     dead_code_elimination,
     eliminate_redundant_transfers,
@@ -36,6 +36,7 @@ from repro.opt.report import OptReport, ProgramStats
 
 __all__ = [
     "OptOptions",
+    "TAIL_PASSES",
     "OptReport",
     "ProgramStats",
     "optimize_program",

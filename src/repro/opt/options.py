@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["OptOptions"]
+__all__ = ["OptOptions", "TAIL_PASSES"]
+
+#: the reorderable tail passes, in their canonical (historical) order; the
+#: DCE/transfer-elimination fixpoint always runs first and is
+#: order-insensitive by construction
+TAIL_PASSES = ("fusion", "sibling-fusion", "pooling")
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,30 @@ class OptOptions:
     #: re-validate and re-run the hazard/transfer/bounds analyses on the
     #: optimised program; raise OptError on any regression
     certify: bool = True
+    #: order of the reorderable tail passes (:data:`TAIL_PASSES`);
+    #: ``None`` means the canonical order.  Must be a permutation of the
+    #: full tail set — disabled passes listed here are simply skipped.
+    #: The tuner's pass-ordering search dimension.
+    order: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.order is not None and sorted(self.order) != sorted(TAIL_PASSES):
+            raise ValueError(
+                f"order must be a permutation of {TAIL_PASSES}, "
+                f"got {self.order!r}"
+            )
+
+    @property
+    def effective_order(self) -> tuple[str, ...]:
+        """The tail-pass order actually run (``order`` or the canonical)."""
+        return TAIL_PASSES if self.order is None else tuple(self.order)
+
+    def _tail_enabled(self, name: str) -> bool:
+        return {
+            "fusion": self.fusion,
+            "sibling-fusion": self.sibling_fusion,
+            "pooling": self.pooling,
+        }[name]
 
     @property
     def enabled_passes(self) -> tuple[str, ...]:
@@ -42,10 +71,5 @@ class OptOptions:
             names.append("dce")
         if self.transfers:
             names.append("transfer-elimination")
-        if self.fusion:
-            names.append("fusion")
-        if self.sibling_fusion:
-            names.append("sibling-fusion")
-        if self.pooling:
-            names.append("pooling")
+        names.extend(p for p in self.effective_order if self._tail_enabled(p))
         return tuple(names)

@@ -1,9 +1,9 @@
 """The optimisation pipeline driver and its certification gate.
 
-:func:`optimize_program` runs the enabled passes in a fixed order —
-DCE and transfer elimination to a joint fixpoint (each unlocks work for
-the other), then fusion (intermediate-based, then region-oracle sibling
-pairs), then liveness pooling — and, unless disabled,
+:func:`optimize_program` runs the enabled passes — DCE and transfer
+elimination to a joint fixpoint (each unlocks work for the other), then
+the reorderable tail (fusion, region-oracle sibling fusion, liveness
+pooling, in ``options.effective_order``) — and, unless disabled,
 **certifies** the result: the optimised program must re-validate
 structurally and must not add any finding to the PR-1 hazard, transfer
 or bounds analyses relative to the input program.  Certification failure
@@ -128,11 +128,12 @@ def optimize_program(
             if not changed:
                 break
 
-        if options.fusion:
+        def _run_fusion(prog: DeviceProgram) -> DeviceProgram:
+            nonlocal eliminated
             with tracer.span("opt-pass:fusion", category="opt-pass") as sp:
-                program, buffers = fuse_program(program)
+                prog, buffers = fuse_program(prog)
                 sp.set(fused_buffers=len(buffers))
-            eliminated = tuple(buffers)
+            eliminated = eliminated + tuple(buffers)
             if buffers:
                 notes.append(
                     ("fusion",
@@ -140,33 +141,48 @@ def optimize_program(
                 )
             if options.dce:  # fusion can strand allocations of moved frees
                 with tracer.span("opt-pass:dce", category="opt-pass") as sp:
-                    program, n = dead_code_elimination(program)
+                    prog, n = dead_code_elimination(prog)
                     sp.set(removed=n)
                 if n:
                     notes.append(("dce", f"removed {n} dead ops after fusion"))
+            return prog
 
-        if options.sibling_fusion:
+        def _run_sibling_fusion(prog: DeviceProgram) -> DeviceProgram:
             # the region oracle proves adjacent same-buffer writers disjoint;
-            # whole-buffer fusion above can never legalise these pairs
+            # whole-buffer fusion can never legalise these pairs
             with tracer.span(
                 "opt-pass:sibling-fusion", category="opt-pass"
             ) as sp:
-                program, n = fuse_independent_siblings(program)
+                prog, n = fuse_independent_siblings(prog)
                 sp.set(fused_pairs=n)
             if n:
                 notes.append(
                     ("sibling-fusion",
                      f"fused {n} independent sibling launch pair(s)")
                 )
+            return prog
 
-        if options.pooling:
+        def _run_pooling(prog: DeviceProgram) -> DeviceProgram:
             with tracer.span("opt-pass:pooling", category="opt-pass") as sp:
-                program, moved = sink_frees_to_last_use(program)
+                prog, moved = sink_frees_to_last_use(prog)
                 sp.set(frees_sunk=moved)
             notes.append(
                 ("pooling",
                  f"sank {moved} frees to last use; pooled allocation enabled")
             )
+            return prog
+
+        # the tail passes run in the (tunable) order of the options; each
+        # stage only fires when its toggle is on
+        stages = {
+            "fusion": (options.fusion, _run_fusion),
+            "sibling-fusion": (options.sibling_fusion, _run_sibling_fusion),
+            "pooling": (options.pooling, _run_pooling),
+        }
+        for pass_name in options.effective_order:
+            enabled, stage = stages[pass_name]
+            if enabled:
+                program = stage(program)
 
         diagnostics: tuple = ()
         certified = False

@@ -30,7 +30,15 @@ import numpy as np
 
 from repro.obs.span import current_tracer
 
-__all__ = ["CacheStats", "CompileCache", "canonical", "sac_key", "gaspard_key"]
+__all__ = [
+    "CacheStats",
+    "CompileCache",
+    "canonical",
+    "sac_key",
+    "gaspard_key",
+    "tune_eval_key",
+    "tune_record_key",
+]
 
 
 def _digest(*parts: str) -> str:
@@ -121,6 +129,23 @@ def gaspard_key(
     )
 
 
+def tune_eval_key(app: str, route: str, size, config) -> tuple:
+    """Cache key of one tuner cost evaluation.
+
+    ``config`` is a :class:`repro.tune.TuneConfig` dataclass; its
+    :func:`canonical` serialisation recurses *every* field — the
+    ``OptOptions`` (toggles **and** tail-pass order), transfer placement,
+    pipeline depth, paving granularity and fleet placement policy — so two
+    configurations differing in any single tuned knob can never collide.
+    """
+    return ("tune-eval", app, route, _digest(canonical(size), canonical(config)))
+
+
+def tune_record_key(app: str, route: str, size) -> tuple:
+    """Cache key of the winning tuning record for one (app, route, size)."""
+    return ("tune-record", app, route, _digest(canonical(size)))
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/invalidation counters of a :class:`CompileCache`."""
@@ -186,6 +211,27 @@ class CompileCache:
                 f"compile:{key[0]}", category="compile", cache="hit"
             )
         return value
+
+    def store(self, key: tuple, value: Any) -> Any:
+        """Insert (or overwrite) an artefact under an explicit key.
+
+        The tuner's write path: cost evaluations and winning tuning
+        records are deposited here so later searches and AOT consumers
+        can :meth:`peek` them without recomputing.
+        """
+        self._entries[key] = value
+        return value
+
+    def peek(self, key: tuple, default: Any = None) -> Any:
+        """Return the artefact under ``key`` without building on miss.
+
+        Counts as a lookup (hit or miss) in :attr:`stats`.
+        """
+        if key in self._entries:
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return default
 
     def invalidate(self, key: tuple) -> bool:
         """Drop one entry; returns whether it existed."""

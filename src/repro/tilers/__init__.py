@@ -16,6 +16,7 @@ from repro.tilers.analysis import (
     uncovered_element_count,
 )
 from repro.tilers.ops import flat_element_indices, gather, scatter, scatter_into_zeros
+from repro.tilers.paving import coarsen_paving, paving_equivalent
 from repro.tilers.regions import tiler_access_box
 from repro.tilers.tiler import Tiler
 from repro.tilers.viz import render_pattern, render_tiling
@@ -34,5 +35,7 @@ __all__ = [
     "duplicate_element_count",
     "uncovered_element_count",
     "tiler_access_box",
+    "coarsen_paving",
+    "paving_equivalent",
     "render_tiling", "render_pattern",
 ]

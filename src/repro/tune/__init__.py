@@ -1,0 +1,59 @@
+"""repro.tune: cost-model autotuning over the certified optimisation space.
+
+The paper fixes one configuration per route — the Figure 10 pavings, the
+boundary transfer placement, a depth-2 pipeline and the full optimiser.
+Each of those is actually a *knob*, and the legality machinery built in
+earlier PRs (the region oracle, the optimiser's certification gate, the
+paving footprint-equivalence check) makes the whole space safe to
+search: an illegal point either never enumerates (pavings) or is
+rejected by the certifier (pass configurations).
+
+This package searches that space with **modelled** cost — static program
+stats plus a dependence-scheduled replay of a few frames, no functional
+execution — so hundreds of candidates cost only tens of compiles, then
+re-runs the winner bit-exactly with certification forced on.  Winners
+persist as :class:`~repro.tune.records.TuningRecord` entries in the
+:class:`~repro.runtime.cache.CompileCache`, keyed per (app, route,
+size), for ahead-of-time consumption.
+"""
+
+from repro.tune.cost import CandidateCost
+from repro.tune.records import TuningRecord
+from repro.tune.search import TuneResult, tune
+from repro.tune.space import (
+    DEFAULT_CONFIG,
+    DEPTH_CHOICES,
+    PLACEMENT_CHOICES,
+    TRANSFER_CHOICES,
+    TuneConfig,
+    enumerate_opt_options,
+    enumerate_pass_configs,
+    neighbours,
+)
+from repro.tune.subjects import (
+    ConvolutionSubject,
+    DownscalerSubject,
+    ProgramSubject,
+    TuneSubject,
+    make_subject,
+)
+
+__all__ = [
+    "CandidateCost",
+    "TuneConfig",
+    "TuneResult",
+    "TuneSubject",
+    "TuningRecord",
+    "DownscalerSubject",
+    "ConvolutionSubject",
+    "ProgramSubject",
+    "make_subject",
+    "tune",
+    "DEFAULT_CONFIG",
+    "DEPTH_CHOICES",
+    "PLACEMENT_CHOICES",
+    "TRANSFER_CHOICES",
+    "enumerate_opt_options",
+    "enumerate_pass_configs",
+    "neighbours",
+]

@@ -1,0 +1,91 @@
+"""Tuning records: the persisted outcome of one search.
+
+A :class:`TuningRecord` is what an ahead-of-time consumer needs to
+reproduce the winner without re-searching: the winning
+:class:`~repro.tune.space.TuneConfig`, its modelled cost, the default
+config's cost it was gated against, and the search provenance (seed,
+candidates visited, distinct evaluations).  Records live in the
+:class:`~repro.runtime.cache.CompileCache` under
+:func:`~repro.runtime.cache.tune_record_key` and serialise through the
+PR-5 canonical content serialiser — the ``content`` digest is stable
+across processes, so an AOT bundle can verify it holds the record the
+search actually produced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.runtime.cache import _digest, canonical
+from repro.tune.cost import CandidateCost
+from repro.tune.space import TuneConfig
+
+__all__ = ["TuningRecord"]
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """The winner of one (app, route, size) search, with provenance."""
+
+    app: str
+    route: str
+    size: str
+    config: TuneConfig
+    cost: CandidateCost
+    default_cost: CandidateCost
+    seed: int
+    #: candidates visited (memoised revisits included)
+    candidates: int
+    #: distinct cost evaluations actually computed
+    evaluations: int
+
+    @property
+    def content(self) -> str:
+        """Content digest of the record (the canonical serialisation)."""
+        return _digest(canonical(self))
+
+    def as_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "route": self.route,
+            "size": self.size,
+            "config": self.config.as_dict(),
+            "cost": self.cost.as_dict(),
+            "default_cost": self.default_cost.as_dict(),
+            "seed": self.seed,
+            "candidates": self.candidates,
+            "evaluations": self.evaluations,
+            "content": self.content,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TuningRecord":
+        record = cls(
+            app=d["app"],
+            route=d["route"],
+            size=d["size"],
+            config=TuneConfig.from_dict(d["config"]),
+            cost=CandidateCost.from_dict(d["cost"]),
+            default_cost=CandidateCost.from_dict(d["default_cost"]),
+            seed=d["seed"],
+            candidates=d["candidates"],
+            evaluations=d["evaluations"],
+        )
+        stored = d.get("content")
+        if stored is not None and stored != record.content:
+            from repro.errors import ReproError
+
+            raise ReproError(
+                f"tuning record content digest mismatch for "
+                f"{record.app}/{record.route}/{record.size}: the record was "
+                f"altered after serialisation"
+            )
+        return record
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningRecord":
+        return cls.from_dict(json.loads(text))

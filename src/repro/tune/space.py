@@ -1,0 +1,225 @@
+"""The tuner's search space: every knob the certified optimiser exposes.
+
+A :class:`TuneConfig` bundles one point of the legal configuration
+space:
+
+* the ``repro.opt`` pass configuration — the five toggles **and** the
+  tail-pass order (``OptOptions.order``), or ``None`` for the
+  paper-literal un-optimised program;
+* the transfer placement (``boundary`` vs ``per_kernel``, paper
+  Section VII);
+* the pipeline depth (double-buffer bound; ``None`` = unbounded);
+* the ArrayOL paving granularity (packets fused per repetition step,
+  pre-validated by the region oracle — see
+  :func:`repro.tilers.coarsen_paving`);
+* the fleet placement policy (only explored when the subject runs on
+  more than one device).
+
+:func:`enumerate_pass_configs` is the exhaustive phase-1 grid;
+:func:`neighbours` yields the single-knob moves of the phase-2 greedy
+search.  Both are deterministic enumerations — the only randomness in
+the search is the seeded restart choice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.opt import TAIL_PASSES, OptOptions
+
+__all__ = [
+    "TuneConfig",
+    "DEFAULT_CONFIG",
+    "DEPTH_CHOICES",
+    "TRANSFER_CHOICES",
+    "PLACEMENT_CHOICES",
+    "enumerate_pass_configs",
+    "enumerate_opt_options",
+    "neighbours",
+]
+
+#: pipeline depth candidates (physical buffer slots per device buffer);
+#: ``None`` models unbounded buffering
+DEPTH_CHOICES: tuple[int | None, ...] = (1, 2, 3, 4, None)
+#: transfer placements both routes accept
+TRANSFER_CHOICES: tuple[str, ...] = ("boundary", "per_kernel")
+#: fleet placement policies (:func:`repro.runtime.fleet.make_placement`)
+PLACEMENT_CHOICES: tuple[str, ...] = (
+    "round-robin", "least-loaded", "cache-affinity",
+)
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """One point of the tuner's configuration space.
+
+    The defaults reproduce what :class:`~repro.runtime.pipeline.
+    FramePipeline` does when nothing is tuned — the paper-literal
+    program at depth 2 — so the default config is the baseline every
+    winner is gated against.  Every field participates in the
+    compile-cache tuning keys through :func:`repro.runtime.cache.
+    canonical`.
+    """
+
+    #: optimiser configuration; ``None`` = paper-literal (no optimiser)
+    opt: OptOptions | None = None
+    #: transfer placement fed to the route's compile options
+    transfers: str = "boundary"
+    #: pipeline double-buffer bound (``None`` = unbounded)
+    depth: int | None = 2
+    #: ArrayOL paving granularity (1 = the paper's Figure 10 tilers)
+    paving: int = 1
+    #: fleet placement policy (relevant only when devices > 1)
+    placement: str = "round-robin"
+
+    def describe(self) -> str:
+        opt = "paper-literal" if self.opt is None else "+".join(
+            self.opt.enabled_passes
+        ) or "no-pass"
+        depth = "unbounded" if self.depth is None else str(self.depth)
+        parts = [opt, self.transfers, f"depth={depth}"]
+        if self.paving != 1:
+            parts.append(f"paving=x{self.paving}")
+        if self.placement != "round-robin":
+            parts.append(self.placement)
+        return " ".join(parts)
+
+    def as_dict(self) -> dict:
+        return {
+            "opt": None if self.opt is None else {
+                "dce": self.opt.dce,
+                "transfers": self.opt.transfers,
+                "fusion": self.opt.fusion,
+                "sibling_fusion": self.opt.sibling_fusion,
+                "pooling": self.opt.pooling,
+                "order": None if self.opt.order is None else list(self.opt.order),
+            },
+            "transfers": self.transfers,
+            "depth": self.depth,
+            "paving": self.paving,
+            "placement": self.placement,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TuneConfig":
+        opt = d.get("opt")
+        if opt is not None:
+            order = opt.get("order")
+            opt = OptOptions(
+                dce=opt["dce"],
+                transfers=opt["transfers"],
+                fusion=opt["fusion"],
+                sibling_fusion=opt["sibling_fusion"],
+                pooling=opt["pooling"],
+                order=None if order is None else tuple(order),
+            )
+        return cls(
+            opt=opt,
+            transfers=d["transfers"],
+            depth=d["depth"],
+            paving=d["paving"],
+            placement=d["placement"],
+        )
+
+
+DEFAULT_CONFIG = TuneConfig()
+
+
+def enumerate_opt_options() -> tuple[OptOptions | None, ...]:
+    """Every distinct optimiser configuration: ``None`` plus all toggle
+    combinations x all *distinguishable* tail-pass orders.
+
+    Two full-tail permutations that order the **enabled** passes
+    identically produce the same pipeline, so only one representative per
+    enabled-subsequence is emitted (the canonical order when no tail pass
+    or one tail pass is on).  All emitted options keep ``certify=True`` —
+    the tuner never leaves the certified space.
+    """
+    out: list[OptOptions | None] = [None]
+    for dce, transfers, fusion, sibling, pooling in itertools.product(
+        (True, False), repeat=5
+    ):
+        enabled = {
+            "fusion": fusion, "sibling-fusion": sibling, "pooling": pooling,
+        }
+        seen: set[tuple[str, ...]] = set()
+        for perm in itertools.permutations(TAIL_PASSES):
+            key = tuple(p for p in perm if enabled[p])
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(OptOptions(
+                dce=dce, transfers=transfers, fusion=fusion,
+                sibling_fusion=sibling, pooling=pooling,
+                order=None if perm == TAIL_PASSES else perm,
+            ))
+    return tuple(out)
+
+
+def enumerate_pass_configs(base: TuneConfig = DEFAULT_CONFIG) -> tuple[TuneConfig, ...]:
+    """The exhaustive phase-1 grid: pass configs x transfer placements.
+
+    Depth, paving and placement stay at ``base`` — phase 1 isolates the
+    program-shaping knobs; the combinatorial runtime knobs are phase 2's
+    greedy territory.
+    """
+    return tuple(
+        replace(base, opt=opt, transfers=tr)
+        for opt in enumerate_opt_options()
+        for tr in TRANSFER_CHOICES
+    )
+
+
+def neighbours(
+    config: TuneConfig,
+    pavings: tuple[int, ...] = (1,),
+    devices: int = 1,
+) -> tuple[TuneConfig, ...]:
+    """Single-knob mutations of ``config`` — the greedy move set.
+
+    ``pavings`` is the subject's *legal* granularity list (already
+    filtered through the region oracle); ``devices`` gates the placement
+    dimension.  The move set is complete over the knobs: every config of
+    the joint space is reachable from any other through a chain of
+    neighbours.
+    """
+    moves: list[TuneConfig] = []
+    for depth in DEPTH_CHOICES:
+        if depth != config.depth:
+            moves.append(replace(config, depth=depth))
+    for tr in TRANSFER_CHOICES:
+        if tr != config.transfers:
+            moves.append(replace(config, transfers=tr))
+    for g in pavings:
+        if g != config.paving:
+            moves.append(replace(config, paving=g))
+    if devices > 1:
+        for pl in PLACEMENT_CHOICES:
+            if pl != config.placement:
+                moves.append(replace(config, placement=pl))
+    # optimiser moves: enable the default pipeline / go paper-literal,
+    # toggle each pass, swap adjacent tail-order entries
+    if config.opt is None:
+        moves.append(replace(config, opt=OptOptions()))
+    else:
+        moves.append(replace(config, opt=None))
+        opt = config.opt
+        for field in ("dce", "transfers", "fusion", "sibling_fusion", "pooling"):
+            moves.append(replace(
+                config, opt=replace(opt, **{field: not getattr(opt, field)})
+            ))
+        order = opt.effective_order
+        for i in range(len(order) - 1):
+            swapped = list(order)
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            swapped = tuple(swapped)
+            if swapped != order:
+                moves.append(replace(
+                    config,
+                    opt=replace(
+                        opt,
+                        order=None if swapped == TAIL_PASSES else swapped,
+                    ),
+                ))
+    return tuple(moves)

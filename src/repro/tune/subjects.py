@@ -1,0 +1,220 @@
+"""What the tuner tunes: an application x route bound to golden outputs.
+
+A :class:`TuneSubject` knows how to compile itself under a
+:class:`~repro.tune.space.TuneConfig` (through the shared
+:class:`~repro.runtime.cache.CompileCache`, so repeated configurations
+are free), which paving granularities the region oracle admits, and what
+the bit-exact outputs of one frame are — the re-execution gate every
+winner must pass.
+
+Three subjects cover the repository's surfaces: the H.263 downscaler
+(both routes, the only app with a non-trivial paving dimension), the
+separable convolution (both routes, paving fixed at 1), and a raw
+:class:`~repro.ir.program.DeviceProgram` wrapper used by the property
+tests to drive the search over arbitrary generated programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ir.program import DeviceProgram
+from repro.runtime.cache import CompileCache
+from repro.tune.space import TuneConfig
+
+__all__ = [
+    "TuneSubject",
+    "DownscalerSubject",
+    "ConvolutionSubject",
+    "ProgramSubject",
+    "make_subject",
+]
+
+
+class TuneSubject:
+    """One tunable application x route binding.
+
+    Subclasses set :attr:`app`, :attr:`route`, :attr:`size_token` (any
+    :func:`~repro.runtime.cache.canonical`-serialisable size descriptor),
+    :attr:`pavings` (region-oracle-legal granularities) and
+    :attr:`instances_per_frame`, and implement :meth:`compile`,
+    :meth:`env` and :meth:`golden`.
+    """
+
+    app: str
+    route: str
+    size_token: object
+    size_name: str
+    pavings: tuple[int, ...] = (1,)
+    instances_per_frame: int = 1
+
+    def compile(self, cache: CompileCache, config: TuneConfig) -> DeviceProgram:
+        raise NotImplementedError
+
+    def env(self, instance: int) -> dict[str, np.ndarray]:
+        """Host inputs of one program run of the costing frame."""
+        raise NotImplementedError
+
+    def golden(self, instance: int, program: DeviceProgram) -> dict[str, np.ndarray]:
+        """Expected host outputs of that run — the bit-exactness oracle."""
+        raise NotImplementedError
+
+
+class DownscalerSubject(TuneSubject):
+    """The H.263 downscaler on one route at one frame size.
+
+    The only subject with a live paving dimension:
+    :func:`~repro.apps.downscaler.config.legal_pavings` supplies the
+    granularities the region oracle proves footprint-equivalent to the
+    Figure 10 tilers.
+    """
+
+    app = "downscaler"
+
+    def __init__(self, route: str, size=None, variant: str | None = None):
+        from repro.apps.downscaler.config import HD, legal_pavings
+        from repro.apps.downscaler.sac_sources import NONGENERIC
+        from repro.apps.downscaler.serving import downscaler_job
+
+        if route not in ("sac", "gaspard"):
+            raise ReproError(f"unknown tuning route {route!r}")
+        self.route = route
+        self.size = HD if size is None else size
+        self.size_token = self.size
+        self.size_name = self.size.name or f"{self.size.rows}x{self.size.cols}"
+        self.variant = NONGENERIC if variant is None else variant
+        self.pavings = legal_pavings(self.size)
+        self._job = downscaler_job(route, self.size, self.variant)
+        self.instances_per_frame = self._job.instances_per_frame
+
+    def compile(self, cache: CompileCache, config: TuneConfig) -> DeviceProgram:
+        from repro.apps.downscaler.serving import downscaler_job
+
+        job = downscaler_job(
+            self.route, self.size, self.variant,
+            opt=config.opt, transfers=config.transfers, paving=config.paving,
+        )
+        return job.compile(cache)
+
+    def env(self, instance: int) -> dict[str, np.ndarray]:
+        return self._job.env(0, instance)
+
+    def golden(self, instance: int, program: DeviceProgram) -> dict[str, np.ndarray]:
+        return self._job.golden(0, instance, program)
+
+
+class ConvolutionSubject(TuneSubject):
+    """The separable Gaussian convolution on one route.
+
+    No paving dimension (its tilers are already one element per step),
+    so the tuner exercises pass configuration, transfer placement and
+    depth only.
+    """
+
+    app = "convolution"
+
+    def __init__(self, route: str, rows: int = 96, cols: int = 128, seed: int = 7):
+        from repro.apps.convolution import convolve, gaussian3
+
+        if route not in ("sac", "gaspard"):
+            raise ReproError(f"unknown tuning route {route!r}")
+        self.route = route
+        self.config = gaussian3(rows, cols)
+        self.size_token = (rows, cols, self.config.taps)
+        self.size_name = f"{rows}x{cols}"
+        rng = np.random.default_rng(seed)
+        self._image = rng.uniform(0.0, 255.0, size=(rows, cols))
+        self._image.setflags(write=False)
+        self._golden = convolve(self._image, self.config)
+        self._golden.setflags(write=False)
+
+    def compile(self, cache: CompileCache, config: TuneConfig) -> DeviceProgram:
+        if self.route == "sac":
+            from repro.apps.convolution import convolution_program_source
+            from repro.sac.backend import CompileOptions
+
+            cf = cache.compile_sac(
+                convolution_program_source(self.config),
+                "blur",
+                CompileOptions(
+                    target="cuda", opt=config.opt, transfers=config.transfers
+                ),
+            )
+            return cf.program
+        from repro.apps.convolution import convolution_allocation, convolution_model
+
+        ctx, _ = cache.compile_gaspard(
+            convolution_model(self.config),
+            convolution_allocation(),
+            opt=config.opt,
+            transfers=config.transfers,
+        )
+        return ctx.program
+
+    def env(self, instance: int) -> dict[str, np.ndarray]:
+        name = "img" if self.route == "sac" else "image"
+        return {name: self._image}
+
+    def golden(self, instance: int, program: DeviceProgram) -> dict[str, np.ndarray]:
+        if self.route == "sac":
+            return {program.host_outputs[0]: self._golden}
+        return {"blurred": self._golden}
+
+
+class ProgramSubject(TuneSubject):
+    """A raw device program: the property tests' harness.
+
+    The paving dimension is empty and transfer placement is baked into
+    the program, so only the optimiser configuration and depth move; the
+    golden outputs come from one un-optimised execution captured at
+    construction.
+    """
+
+    app = "program"
+    route = "raw"
+
+    def __init__(self, program: DeviceProgram, env: dict[str, np.ndarray]):
+        from repro.gpu import GTX480_CALIBRATED, CostModel, GPUExecutor
+
+        self.program = program
+        self.size_token = program.name
+        self.size_name = program.name
+        self._env = dict(env)
+        result = GPUExecutor(CostModel(GTX480_CALIBRATED)).run(
+            program, dict(env)
+        )
+        self._golden = {
+            name: result.outputs[name] for name in program.host_outputs
+        }
+
+    def compile(self, cache: CompileCache, config: TuneConfig) -> DeviceProgram:
+        from repro.opt import optimize_program
+        from repro.runtime.cache import canonical, _digest
+
+        if config.opt is None:
+            return self.program
+        key = ("tune-opt", _digest(canonical(self.program), canonical(config.opt)))
+
+        def build():
+            optimised, _report = optimize_program(self.program, config.opt)
+            return optimised
+
+        return cache.get_or_compile(key, build)
+
+    def env(self, instance: int) -> dict[str, np.ndarray]:
+        return dict(self._env)
+
+    def golden(self, instance: int, program: DeviceProgram) -> dict[str, np.ndarray]:
+        return dict(self._golden)
+
+
+def make_subject(app: str, route: str, size=None) -> TuneSubject:
+    """CLI-facing factory: ``app`` in ``{"downscaler", "convolution"}``."""
+    if app == "downscaler":
+        return DownscalerSubject(route, size=size)
+    if app == "convolution":
+        return ConvolutionSubject(route)
+    raise ReproError(
+        f"unknown tuning app {app!r} (choose from downscaler, convolution)"
+    )

@@ -464,3 +464,36 @@ def test_serve_closed_loop_executes_bit_exact(capsys):
     out = capsys.readouterr().out
     assert "completed:  4 ok" in out
     assert "validated:  4 response(s) bit-exact vs golden" in out
+
+
+def test_tune_convolution_both_routes(capsys):
+    assert main(
+        ["tune", "--app", "convolution", "--route", "both", "--budget", "12",
+         "--seed", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "convolution/sac" in out
+    assert "convolution/gaspard" in out
+    assert "validated bit-exact: True" in out
+    assert "candidates visited   12" in out
+
+
+def test_tune_json_winner_never_worse(capsys):
+    import json
+
+    assert main(
+        ["tune", "--app", "downscaler", "--size", "cif", "--route", "gaspard",
+         "--budget", "10", "--seed", "0", "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    (entry,) = doc["routes"]
+    assert entry["route"] == "gaspard"
+    assert entry["validated"]
+    d, w = entry["default"]["cost"], entry["winner"]["cost"]
+    assert (
+        w["makespan_us"], w["transferred_bytes"], w["launches"]
+    ) <= (
+        d["makespan_us"], d["transferred_bytes"], d["launches"]
+    )
+    assert entry["candidates"] == 10
+    assert len(entry["record_content"]) == 64

@@ -1,0 +1,99 @@
+"""Tuning cache keys: every tunable knob must be key-relevant.
+
+The collision regression the PR-9 satellite demands: two configurations
+differing **only** in one tuned knob — depth, placement, transfer
+placement, paving granularity, any optimiser toggle or the tail order —
+must never share a cache entry.
+"""
+
+from dataclasses import replace
+
+from repro.opt import OptOptions
+from repro.runtime.cache import (
+    CompileCache,
+    canonical,
+    tune_eval_key,
+    tune_record_key,
+)
+from repro.tune import DEFAULT_CONFIG, TuneConfig
+
+
+def _key(config: TuneConfig) -> tuple:
+    return tune_eval_key("downscaler", "sac", ("HD", 1080, 1920), config)
+
+
+BASE = TuneConfig(opt=OptOptions())
+
+#: one mutation per tunable knob, each differing from BASE in that knob only
+SINGLE_KNOB_MUTATIONS = (
+    replace(BASE, depth=3),
+    replace(BASE, depth=None),
+    replace(BASE, placement="least-loaded"),
+    replace(BASE, placement="cache-affinity"),
+    replace(BASE, transfers="per_kernel"),
+    replace(BASE, paving=2),
+    replace(BASE, opt=None),
+    replace(BASE, opt=replace(BASE.opt, dce=False)),
+    replace(BASE, opt=replace(BASE.opt, transfers=False)),
+    replace(BASE, opt=replace(BASE.opt, fusion=False)),
+    replace(BASE, opt=replace(BASE.opt, sibling_fusion=False)),
+    replace(BASE, opt=replace(BASE.opt, pooling=False)),
+    replace(BASE, opt=replace(BASE.opt, certify=False)),
+    replace(
+        BASE,
+        opt=replace(BASE.opt, order=("pooling", "fusion", "sibling-fusion")),
+    ),
+)
+
+
+def test_single_knob_mutations_never_collide():
+    base_key = _key(BASE)
+    keys = {base_key}
+    for mutated in SINGLE_KNOB_MUTATIONS:
+        key = _key(mutated)
+        assert key != base_key, f"knob lost from key: {mutated}"
+        assert key not in keys, f"two mutations collided: {mutated}"
+        keys.add(key)
+
+
+def test_identical_configs_share_a_key():
+    assert _key(BASE) == _key(replace(BASE))
+    assert _key(DEFAULT_CONFIG) == _key(TuneConfig())
+
+
+def test_keys_are_scoped_by_app_route_and_size():
+    config = DEFAULT_CONFIG
+    keys = {
+        tune_eval_key("downscaler", "sac", "HD", config),
+        tune_eval_key("downscaler", "gaspard", "HD", config),
+        tune_eval_key("convolution", "sac", "HD", config),
+        tune_eval_key("downscaler", "sac", "CIF", config),
+    }
+    assert len(keys) == 4
+
+
+def test_record_keys_are_scoped_but_config_free():
+    assert tune_record_key("downscaler", "sac", "HD") != tune_record_key(
+        "downscaler", "gaspard", "HD"
+    )
+    assert tune_record_key("downscaler", "sac", "HD") == tune_record_key(
+        "downscaler", "sac", "HD"
+    )
+
+
+def test_canonical_covers_the_order_field():
+    a = OptOptions()
+    b = OptOptions(order=("sibling-fusion", "fusion", "pooling"))
+    assert canonical(a) != canonical(b)
+
+
+def test_store_and_peek():
+    cache = CompileCache()
+    key = tune_record_key("downscaler", "sac", "HD")
+    assert cache.peek(key) is None
+    cache.store(key, {"winner": True})
+    assert cache.peek(key) == {"winner": True}
+    assert key in cache
+    before = cache.stats.hits
+    cache.peek(key)
+    assert cache.stats.hits == before + 1

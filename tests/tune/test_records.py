@@ -1,0 +1,60 @@
+"""Tuning records: canonical content digests and JSON round-trips."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.opt import OptOptions
+from repro.tune import CandidateCost, TuneConfig, TuningRecord
+
+
+def _record() -> TuningRecord:
+    return TuningRecord(
+        app="downscaler",
+        route="sac",
+        size="HD",
+        config=TuneConfig(
+            opt=OptOptions(order=("pooling", "fusion", "sibling-fusion")),
+            transfers="per_kernel",
+            depth=3,
+            paving=2,
+        ),
+        cost=CandidateCost(1234.5678901234, 473088, 3),
+        default_cost=CandidateCost(8421.7601201595, 473088, 12),
+        seed=7,
+        candidates=500,
+        evaluations=212,
+    )
+
+
+def test_json_round_trip_is_lossless():
+    record = _record()
+    back = TuningRecord.from_json(record.to_json())
+    assert back == record
+    assert back.content == record.content
+
+
+def test_content_digest_is_stable_and_content_sensitive():
+    a, b = _record(), _record()
+    assert a.content == b.content
+    import dataclasses
+
+    c = dataclasses.replace(a, seed=8)
+    assert c.content != a.content
+
+
+def test_tampered_record_is_rejected():
+    doc = _record().as_dict()
+    doc["seed"] = 999  # alter after serialisation
+    with pytest.raises(ReproError):
+        TuningRecord.from_dict(doc)
+
+
+def test_round_trip_preserves_order_and_none_depth():
+    import dataclasses
+
+    record = dataclasses.replace(
+        _record(), config=TuneConfig(opt=None, depth=None)
+    )
+    back = TuningRecord.from_json(record.to_json())
+    assert back.config.depth is None
+    assert back.config.opt is None

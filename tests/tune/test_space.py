@@ -1,0 +1,125 @@
+"""The tuner's configuration space: enumeration, neighbours, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GTX480_CALIBRATED, CostModel, GPUExecutor
+from repro.opt import TAIL_PASSES, OptOptions, optimize_program
+from repro.tune import (
+    DEFAULT_CONFIG,
+    TuneConfig,
+    enumerate_opt_options,
+    enumerate_pass_configs,
+    neighbours,
+)
+
+
+def test_default_config_matches_pipeline_defaults():
+    assert DEFAULT_CONFIG.opt is None
+    assert DEFAULT_CONFIG.transfers == "boundary"
+    assert DEFAULT_CONFIG.depth == 2
+    assert DEFAULT_CONFIG.paving == 1
+    assert DEFAULT_CONFIG.placement == "round-robin"
+
+
+def test_opt_enumeration_is_distinct_and_complete():
+    options = enumerate_opt_options()
+    assert options[0] is None
+    # 1 (paper-literal) + dce x transfers (4) x 16 distinguishable
+    # tail subset-orders (empty 1, singles 3, pairs 3x2, full 3!)
+    assert len(options) == 1 + 4 * 16
+    assert len(set(options)) == len(options)
+    # no duplicate *pipelines*: the enabled tail subsequence plus the
+    # toggles identify a pipeline uniquely
+    pipelines = set()
+    for o in options:
+        key = None if o is None else (o.dce, o.transfers, o.enabled_passes)
+        assert key not in pipelines
+        pipelines.add(key)
+
+
+def test_pass_config_grid_crosses_transfer_placements():
+    grid = enumerate_pass_configs()
+    assert len(grid) == 2 * len(enumerate_opt_options())
+    assert {c.transfers for c in grid} == {"boundary", "per_kernel"}
+    # phase 1 keeps the combinatorial knobs at the base point
+    assert all(c.depth == 2 and c.paving == 1 for c in grid)
+
+
+def test_neighbours_are_single_knob_moves():
+    moves = neighbours(DEFAULT_CONFIG, pavings=(1, 2, 4), devices=1)
+    assert DEFAULT_CONFIG not in moves
+    assert len(set(moves)) == len(moves)
+    for m in moves:
+        changed = sum(
+            getattr(m, f) != getattr(DEFAULT_CONFIG, f)
+            for f in ("opt", "transfers", "depth", "paving", "placement")
+        )
+        assert changed == 1
+    # placement only moves with a fleet
+    assert not any(m.placement != "round-robin" for m in moves)
+    fleet_moves = neighbours(DEFAULT_CONFIG, pavings=(1,), devices=2)
+    assert any(m.placement == "least-loaded" for m in fleet_moves)
+
+
+def test_neighbours_mutate_the_optimiser():
+    config = TuneConfig(opt=OptOptions())
+    moves = neighbours(config)
+    assert TuneConfig(opt=None) in moves
+    assert any(m.opt is not None and not m.opt.fusion for m in moves)
+    assert any(
+        m.opt is not None and m.opt.effective_order != TAIL_PASSES
+        for m in moves
+    )
+
+
+def test_config_dict_round_trip():
+    config = TuneConfig(
+        opt=OptOptions(pooling=False, order=("pooling", "fusion", "sibling-fusion")),
+        transfers="per_kernel",
+        depth=None,
+        paving=3,
+        placement="cache-affinity",
+    )
+    assert TuneConfig.from_dict(config.as_dict()) == config
+    assert TuneConfig.from_dict(DEFAULT_CONFIG.as_dict()) == DEFAULT_CONFIG
+
+
+def test_order_must_be_full_permutation():
+    with pytest.raises(ValueError):
+        OptOptions(order=("fusion", "pooling"))
+    with pytest.raises(ValueError):
+        OptOptions(order=("fusion", "fusion", "pooling"))
+
+
+def test_every_tail_order_is_bit_exact():
+    """All six pass orders agree functionally on a transfer-heavy chain."""
+    import itertools
+
+    from repro.ir import DeviceToHost, HostToDevice
+    from tests.opt._programs import chain_program
+    from tests.opt.test_properties import H_IN
+
+    program = chain_program(
+        frees=True,
+        extra_ops=(
+            HostToDevice("h_in", "d_in"),  # redundant re-upload
+            DeviceToHost("d_out", "h_rt"),  # round trip
+            HostToDevice("h_rt", "d_out"),
+        ),
+    )
+    want = (
+        GPUExecutor(CostModel(GTX480_CALIBRATED))
+        .run(program, {"h_in": H_IN})
+        .outputs["h_out"]
+    )
+
+    for perm in itertools.permutations(TAIL_PASSES):
+        optimised, report = optimize_program(program, OptOptions(order=perm))
+        got = (
+            GPUExecutor(CostModel(GTX480_CALIBRATED))
+            .run(optimised, {"h_in": H_IN})
+            .outputs["h_out"]
+        )
+        assert np.array_equal(got, want), perm
+        assert report.certified
